@@ -1,0 +1,116 @@
+// Command pimbench regenerates the tables and figures of "On Consistency
+// for Bulk-Bitwise Processing-in-Memory" (HPCA 2023).
+//
+// Usage:
+//
+//	pimbench -exp fig7 -scale quick
+//	pimbench -exp all  -scale medium -v
+//	pimbench -list
+//
+// Scales: quick (minutes), medium (tens of minutes), full (the paper's
+// measurement volume; hours). All scales produce the same figure shapes;
+// see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bulkpim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
+	scale := flag.String("scale", "quick", "measurement scale: quick | medium | full")
+	verbose := flag.Bool("v", false, "log per-run progress")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csvDir := flag.String("csvdir", "", "also write figure series as CSV files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bulkpim.Experiments() {
+			fmt.Println(e)
+		}
+		return
+	}
+
+	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
+	if *verbose {
+		opts.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	out, err := bulkpim.RunExperiment(*exp, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, *exp, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pimbench: %s at scale %s in %s\n", *exp, *scale, time.Since(start).Round(time.Millisecond))
+}
+
+// writeCSVs re-renders figure series as CSV for external plotting. Only
+// series-shaped experiments have CSV forms.
+func writeCSVs(dir, exp string, opts bulkpim.Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, s *bulkpim.Series) error {
+		return os.WriteFile(dir+"/"+name+".csv", []byte(s.CSV()), 0o644)
+	}
+	switch exp {
+	case "fig3":
+		s, err := bulkpim.Fig3(opts)
+		if err != nil {
+			return err
+		}
+		return write("fig3", s)
+	case "fig7", "fig10":
+		f, err := bulkpim.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		for name, s := range map[string]*bulkpim.Series{
+			"fig7a": f.Abs, "fig7b": f.Norm, "fig10a": f.BufLen,
+			"fig10b": f.UniqueScopes, "fig10c": f.ScanLatency, "fig10d": f.SkipRatio,
+		} {
+			if err := write(name, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig11a":
+		s, err := bulkpim.Fig11a(opts)
+		if err != nil {
+			return err
+		}
+		return write("fig11a", s)
+	case "fig11b":
+		s, err := bulkpim.Fig11b(opts)
+		if err != nil {
+			return err
+		}
+		return write("fig11b", s)
+	case "fig13":
+		s, err := bulkpim.Fig13(opts)
+		if err != nil {
+			return err
+		}
+		return write("fig13", s)
+	default:
+		fmt.Fprintf(os.Stderr, "pimbench: no CSV form for %s\n", exp)
+		return nil
+	}
+}

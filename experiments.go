@@ -1,0 +1,753 @@
+package bulkpim
+
+import (
+	"fmt"
+	"strings"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/report"
+	"bulkpim/internal/workload/tpch"
+	"bulkpim/internal/workload/ycsb"
+)
+
+// Scale selects how much of the paper's measurement volume the harness
+// reproduces. Distributions, scope counts and model behaviour are identical
+// at every scale; only operation counts and sweep densities shrink.
+type Scale string
+
+const (
+	// ScaleBench is the minimal scale used by `go test -bench` (seconds
+	// per figure).
+	ScaleBench Scale = "bench"
+	// ScaleQuick regenerates every figure's shape in minutes.
+	ScaleQuick Scale = "quick"
+	// ScaleMedium densifies the sweeps (tens of minutes).
+	ScaleMedium Scale = "medium"
+	// ScaleFull is the paper's measurement volume (1000 YCSB ops, 10 runs
+	// per TPC-H query, full sweep densities). Expect hours.
+	ScaleFull Scale = "full"
+)
+
+// Options configures the experiment harness.
+type Options struct {
+	Scale Scale
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...interface{})
+	// Seed lets repeated harness runs vary; 0 uses the default.
+	Seed uint64
+}
+
+func (o Options) log(format string, args ...interface{}) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// ycsbRecordCounts returns the record-count sweep (x axis of Figs. 3/7/10..12).
+func (o Options) ycsbRecordCounts() []int {
+	switch o.Scale {
+	case ScaleFull:
+		return []int{100_000, 250_000, 500_000, 1_000_000, 2_000_000, 4_000_000,
+			8_000_000, 16_000_000, 24_000_000, 32_000_000}
+	case ScaleMedium:
+		return []int{100_000, 500_000, 2_000_000, 8_000_000, 16_000_000, 32_000_000}
+	case ScaleBench:
+		return []int{100_000, 2_000_000}
+	default:
+		return []int{100_000, 500_000, 2_000_000, 8_000_000}
+	}
+}
+
+func (o Options) ycsbOps() int {
+	switch o.Scale {
+	case ScaleFull:
+		return 1000
+	case ScaleMedium:
+		return 60
+	case ScaleBench:
+		return 8
+	default:
+		return 16
+	}
+}
+
+func (o Options) tpchScale() float64 {
+	switch o.Scale {
+	case ScaleFull:
+		return 1.0
+	case ScaleMedium:
+		return 0.1
+	case ScaleBench:
+		return 0.01
+	default:
+		return 0.02
+	}
+}
+
+// variantNames maps models to series names.
+func variantNames(models []Model) []string {
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// RunRecord is one simulated run's outcome inside a sweep.
+type RunRecord struct {
+	Model   Model
+	Records int
+	Scopes  int
+	Result  Result
+}
+
+// YCSBSweep runs the given models across the option's record counts, with
+// modify applied to each system config (nil for the base Table II system).
+func YCSBSweep(opts Options, models []Model, modify func(*Config)) ([]RunRecord, error) {
+	var out []RunRecord
+	for _, records := range opts.ycsbRecordCounts() {
+		p := ycsb.DefaultParams(records)
+		p.Operations = opts.ycsbOps()
+		p.Seed = opts.seed()
+		w := ycsb.New(p)
+		for _, m := range models {
+			cfg := DefaultConfig()
+			cfg.Model = m
+			if modify != nil {
+				modify(&cfg)
+			}
+			res, err := ycsb.Run(w, cfg)
+			if err != nil {
+				return out, fmt.Errorf("ycsb %s records=%d: %w", m, records, err)
+			}
+			opts.log("ycsb records=%d scopes=%d model=%s cycles=%d", records, w.Scopes, m, res.Cycles)
+			out = append(out, RunRecord{Model: m, Records: records, Scopes: w.Scopes, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// fig3Variants / fig7Variants are the paper's series.
+var (
+	fig3Variants = []Model{Naive, Uncacheable, SWFlush}
+	fig7Variants = []Model{Naive, SWFlush, Atomic, Store, Scope, ScopeRelaxed}
+)
+
+// normalizeToNaive converts a sweep into per-point ratios against Naive.
+func normalizeToNaive(recs []RunRecord) map[int]map[string]float64 {
+	base := map[int]float64{}
+	for _, r := range recs {
+		if r.Model == Naive {
+			base[r.Records] = float64(r.Result.Cycles)
+		}
+	}
+	out := map[int]map[string]float64{}
+	for _, r := range recs {
+		if out[r.Records] == nil {
+			out[r.Records] = map[string]float64{}
+		}
+		out[r.Records][r.Model.String()] = float64(r.Result.Cycles) / base[r.Records]
+	}
+	return out
+}
+
+func scopesOf(recs []RunRecord, records int) int {
+	for _, r := range recs {
+		if r.Records == records {
+			return r.Scopes
+		}
+	}
+	return 0
+}
+
+// Fig3 reproduces Fig. 3: Naive vs Uncacheable vs SW-Flush run time
+// (normalized to Naive) over the record-count sweep.
+func Fig3(opts Options) (*Series, error) {
+	recs, err := YCSBSweep(opts, fig3Variants, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := report.NewSeries("Fig3", "records", "run time / naive", variantNames(fig3Variants))
+	norm := normalizeToNaive(recs)
+	for _, records := range opts.ycsbRecordCounts() {
+		s.AddPoint(float64(records), norm[records])
+	}
+	return s, nil
+}
+
+// YCSBFigures bundles the series Figs. 7 and 10 share.
+type YCSBFigures struct {
+	Abs          *Series // Fig. 7a: absolute run time (seconds)
+	Norm         *Series // Fig. 7b: run time normalized to Naive
+	BufLen       *Series // Fig. 10a: mean PIM buffer length on arrival
+	UniqueScopes *Series // Fig. 10b: mean unique scopes in PIM buffer
+	ScanLatency  *Series // Fig. 10c: mean LLC scan latency (cycles)
+	SkipRatio    *Series // Fig. 10d: SBV mean skipped-set ratio
+}
+
+// buildYCSBFigures derives all YCSB series from one sweep, X = scope count.
+func buildYCSBFigures(opts Options, prefix string, recs []RunRecord) *YCSBFigures {
+	names := variantNames(fig7Variants)
+	f := &YCSBFigures{
+		Abs:          report.NewSeries(prefix+"a", "scopes", "run time [s]", names),
+		Norm:         report.NewSeries(prefix+"b", "scopes", "run time / naive", names),
+		BufLen:       report.NewSeries(prefix+"-10a", "scopes", "mean PIM buffer len", names),
+		UniqueScopes: report.NewSeries(prefix+"-10b", "scopes", "mean unique scopes", names),
+		ScanLatency:  report.NewSeries(prefix+"-10c", "scopes", "mean LLC scan latency", names),
+		SkipRatio:    report.NewSeries(prefix+"-10d", "scopes", "SBV skip ratio", names),
+	}
+	norm := normalizeToNaive(recs)
+	for _, records := range opts.ycsbRecordCounts() {
+		x := float64(scopesOf(recs, records))
+		abs := map[string]float64{}
+		buf := map[string]float64{}
+		uniq := map[string]float64{}
+		scan := map[string]float64{}
+		skip := map[string]float64{}
+		for _, r := range recs {
+			if r.Records != records {
+				continue
+			}
+			name := r.Model.String()
+			abs[name] = r.Result.Seconds
+			buf[name] = r.Result.Stats["pim.buffer_len_mean"]
+			uniq[name] = r.Result.Stats["pim.unique_scopes_mean"]
+			scan[name] = r.Result.Stats["llc.scan_latency_mean"]
+			skip[name] = r.Result.Stats["llc.sbv_skip_ratio"]
+		}
+		f.Abs.AddPoint(x, abs)
+		f.Norm.AddPoint(x, norm[records])
+		f.BufLen.AddPoint(x, buf)
+		f.UniqueScopes.AddPoint(x, uniq)
+		f.ScanLatency.AddPoint(x, scan)
+		f.SkipRatio.AddPoint(x, skip)
+	}
+	return f
+}
+
+// Fig7 reproduces Fig. 7 (run times) and Fig. 10 (system statistics) from
+// one YCSB sweep over all six variants.
+func Fig7(opts Options) (*YCSBFigures, error) {
+	recs, err := YCSBSweep(opts, fig7Variants, nil)
+	if err != nil {
+		return nil, err
+	}
+	return buildYCSBFigures(opts, "Fig7", recs), nil
+}
+
+// Fig11a: unbounded PIM module buffer. The extra "basic-naive" series is
+// the bounded-buffer Naive baseline the paper includes for reference.
+func Fig11a(opts Options) (*Series, error) {
+	return figWithModifiedConfig(opts, "Fig11a", func(cfg *Config) { cfg.PIMBufferSize = 0 })
+}
+
+// Fig11b: zero PIM logic execution time.
+func Fig11b(opts Options) (*Series, error) {
+	return figWithModifiedConfig(opts, "Fig11b", func(cfg *Config) { cfg.PIMZeroLatency = true })
+}
+
+func figWithModifiedConfig(opts Options, name string, modify func(*Config)) (*Series, error) {
+	recs, err := YCSBSweep(opts, fig7Variants, modify)
+	if err != nil {
+		return nil, err
+	}
+	baseNaive, err := YCSBSweep(opts, []Model{Naive}, nil)
+	if err != nil {
+		return nil, err
+	}
+	names := append(variantNames(fig7Variants), "basic-naive")
+	s := report.NewSeries(name, "scopes", "run time / naive", names)
+	norm := normalizeToNaive(recs)
+	for _, records := range opts.ycsbRecordCounts() {
+		vals := norm[records]
+		var naiveCycles float64
+		for _, r := range recs {
+			if r.Records == records && r.Model == Naive {
+				naiveCycles = float64(r.Result.Cycles)
+			}
+		}
+		for _, r := range baseNaive {
+			if r.Records == records {
+				vals["basic-naive"] = float64(r.Result.Cycles) / naiveCycles
+			}
+		}
+		s.AddPoint(float64(scopesOf(recs, records)), vals)
+	}
+	return s, nil
+}
+
+// Fig12 reproduces the 8MB-LLC experiment: run time plus the scan-latency
+// and SBV statistics (Fig. 12a-c).
+func Fig12(opts Options) (*YCSBFigures, error) {
+	recs, err := YCSBSweep(opts, fig7Variants, func(cfg *Config) {
+		cfg.LLCSets = 8192 // 8MB, 16-way, 64B lines
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildYCSBFigures(opts, "Fig12", recs), nil
+}
+
+// Fig13 reproduces the 8-thread / 16-core experiment.
+func Fig13(opts Options) (*Series, error) {
+	var out []RunRecord
+	for _, records := range opts.ycsbRecordCounts() {
+		p := ycsb.DefaultParams(records)
+		p.Operations = opts.ycsbOps()
+		p.Threads = 8
+		p.Seed = opts.seed()
+		w := ycsb.New(p)
+		for _, m := range fig7Variants {
+			cfg := DefaultConfig()
+			cfg.Model = m
+			cfg.Cores = 16
+			res, err := ycsb.Run(w, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s records=%d: %w", m, records, err)
+			}
+			opts.log("fig13 records=%d model=%s cycles=%d", records, m, res.Cycles)
+			out = append(out, RunRecord{Model: m, Records: records, Scopes: w.Scopes, Result: res})
+		}
+	}
+	s := report.NewSeries("Fig13", "scopes", "run time / naive", variantNames(fig7Variants))
+	norm := normalizeToNaive(out)
+	for _, records := range opts.ycsbRecordCounts() {
+		s.AddPoint(float64(scopesOf(out, records)), norm[records])
+	}
+	return s, nil
+}
+
+// TPCHRun is one query under one model.
+type TPCHRun struct {
+	Query  string
+	Model  Model
+	Result Result
+}
+
+// TPCHSweep runs every Table IV query under the given models.
+func TPCHSweep(opts Options, models []Model) ([]TPCHRun, error) {
+	var out []TPCHRun
+	for _, q := range tpch.Queries() {
+		w := tpch.NewWorkload(q, 4, opts.tpchScale(), false)
+		for _, m := range models {
+			cfg := DefaultConfig()
+			cfg.Model = m
+			res, err := tpch.Run(w, cfg)
+			if err != nil {
+				return out, fmt.Errorf("tpch %s %s: %w", q.Name, m, err)
+			}
+			opts.log("tpch %s model=%s cycles=%d", q.Name, m, res.Cycles)
+			out = append(out, TPCHRun{Query: q.Name, Model: m, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// Fig8 reproduces Fig. 8: per-query run time normalized to Naive, with the
+// geometric mean, and Fig. 9's scope buffer hit rates from the same runs.
+func Fig8Fig9(opts Options) (fig8, fig9 *Table, err error) {
+	models := fig7Variants
+	runs, err := TPCHSweep(opts, models)
+	if err != nil {
+		return nil, nil, err
+	}
+	byQuery := map[string]map[string]float64{}
+	hit := map[string]map[string]float64{}
+	for _, r := range runs {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]float64{}
+			hit[r.Query] = map[string]float64{}
+		}
+		byQuery[r.Query][r.Model.String()] = float64(r.Result.Cycles)
+		hit[r.Query][r.Model.String()] = r.Result.Stats["llc.sb_hit_rate"]
+	}
+
+	fig8 = &Table{Title: "Fig8 — TPC-H run time normalized to Naive"}
+	fig8.Header = append([]string{"query"}, variantNames(models[1:])...)
+	geo := map[string][]float64{}
+	for _, q := range tpch.Queries() {
+		row := []string{q.Name}
+		naive := byQuery[q.Name][Naive.String()]
+		for _, m := range models[1:] {
+			v := byQuery[q.Name][m.String()] / naive
+			geo[m.String()] = append(geo[m.String()], v)
+			row = append(row, report.F(v))
+		}
+		fig8.AddRow(row...)
+	}
+	row := []string{"geomean"}
+	for _, m := range models[1:] {
+		row = append(row, report.F(report.GeoMean(geo[m.String()])))
+	}
+	fig8.AddRow(row...)
+
+	fig9 = &Table{Title: "Fig9 — scope buffer hit rate"}
+	proposed := []Model{Atomic, Store, Scope, ScopeRelaxed}
+	fig9.Header = append([]string{"query"}, variantNames(proposed)...)
+	for _, q := range tpch.Queries() {
+		row := []string{q.Name}
+		for _, m := range proposed {
+			row = append(row, report.F(hit[q.Name][m.String()]))
+		}
+		fig9.AddRow(row...)
+	}
+	return fig8, fig9, nil
+}
+
+// Fig9YCSB adds the YCSB column of Fig. 9 (scope buffer hit rate).
+func Fig9YCSB(opts Options) (*Table, error) {
+	p := ycsb.DefaultParams(opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1])
+	p.Operations = opts.ycsbOps()
+	p.Seed = opts.seed()
+	w := ycsb.New(p)
+	t := &Table{Title: "Fig9 (YCSB) — scope buffer hit rate", Header: []string{"model", "hit rate"}}
+	for _, m := range ProposedModels() {
+		cfg := DefaultConfig()
+		cfg.Model = m
+		res, err := ycsb.Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.String(), report.F(res.Stats["llc.sb_hit_rate"]))
+	}
+	return t, nil
+}
+
+// Fig1Table runs the litmus sweep for every variant and tabulates the
+// verdicts (§I / Fig. 1).
+func Fig1Table(opts Options) (*Table, error) {
+	t := &Table{Title: "Fig1 — litmus: stale read / happens-before cycle under adversarial prefetch",
+		Header: []string{"model", "stale read", "hb cycle", "guaranteed correct"}}
+	for _, m := range []Model{Naive, SWFlush, Atomic, Store, Scope, ScopeRelaxed} {
+		outs, err := SweepFig1(m, LitmusDefaultSweep())
+		if err != nil {
+			return nil, err
+		}
+		stale, cycle := LitmusVulnerable(outs)
+		incomplete := false
+		for _, o := range outs {
+			if !o.Completed {
+				incomplete = true
+			}
+		}
+		verdict := "yes"
+		if stale || cycle || incomplete {
+			verdict = "NO"
+		}
+		staleS := fmt.Sprintf("%v", stale)
+		if incomplete {
+			staleS += " (stuck reads)"
+		}
+		t.AddRow(m.String(), staleS, fmt.Sprintf("%v", cycle), verdict)
+		opts.log("fig1 %s stale=%v cycle=%v", m, stale, cycle)
+	}
+	return t, nil
+}
+
+// TableITable renders the paper's Table I.
+func TableITable() *Table {
+	t := &Table{Title: "Table I — consistency model definitions and implementations",
+		Header: []string{"model", "PIM op allowed reordering", "additional fence", "scope buffer & SBV"}}
+	for _, d := range core.TableI() {
+		t.AddRow(d.Model.String(), d.AllowedReorder, d.AdditionalFences, d.Structures)
+	}
+	return t
+}
+
+// TableIITable renders the evaluation system configuration.
+func TableIITable() *Table {
+	cfg := DefaultConfig()
+	t := &Table{Title: "Table II — architecture and system configuration",
+		Header: []string{"component", "value"}}
+	t.AddRow("cores", fmt.Sprintf("%d, x86-TSO commit-order, %.1fGHz", cfg.Cores, cfg.ClockGHz))
+	t.AddRow("L1", fmt.Sprintf("private, %dKB, 64B lines, %d-way, %d-cycle hit",
+		cfg.L1Sets*cfg.L1Ways*64/1024, cfg.L1Ways, cfg.L1HitLatency))
+	t.AddRow("LLC", fmt.Sprintf("shared, %dMB, 64B lines, %d-way, %d-cycle hit, inclusive MESI",
+		cfg.LLCSets*cfg.LLCWays*64/(1<<20), cfg.LLCWays, cfg.LLCHitLatency))
+	t.AddRow("L1 scope buffer", fmt.Sprintf("%d sets, %d-way (scope-relaxed only)", cfg.L1ScopeBufSets, cfg.L1ScopeBufWays))
+	t.AddRow("L2 scope buffer", fmt.Sprintf("%d sets, %d-way", cfg.LLCScopeBufSets, cfg.LLCScopeBufWays))
+	t.AddRow("main memory", fmt.Sprintf("%d-cycle DRAM, %d banks", cfg.DRAMLatency, cfg.Banks))
+	t.AddRow("PIM module", fmt.Sprintf("1 (spec as in [25]), buffer %d ops, %d cycles/micro-op",
+		cfg.PIMBufferSize, cfg.PIMCyclesPerMicroOp))
+	t.AddRow("scope", "2MB huge page")
+	t.AddRow("max records/scope", fmt.Sprintf("%d", DefaultLayout().RecordsPerScope()))
+	return t
+}
+
+// TableIIITable renders the YCSB workload summary.
+func TableIIITable() *Table {
+	p := ycsb.DefaultParams(1_000_000)
+	t := &Table{Title: "Table III — YCSB workload summary", Header: []string{"parameter", "value"}}
+	t.AddRow("operations", fmt.Sprintf("%d", p.Operations))
+	t.AddRow("scan fraction", fmt.Sprintf("%.0f%%", p.ScanFraction*100))
+	t.AddRow("insert fraction", fmt.Sprintf("%.0f%%", (1-p.ScanFraction)*100))
+	t.AddRow("fields per record", fmt.Sprintf("%d", p.Fields))
+	t.AddRow("field length", fmt.Sprintf("%dB", p.FieldBytes))
+	t.AddRow("records in scan results", fmt.Sprintf("uniform [1,%d]", p.MaxScanRecords))
+	t.AddRow("scan base record", fmt.Sprintf("zipfian (theta=%.2f)", p.ZipfTheta))
+	return t
+}
+
+// TableIVTable renders the TPC-H query summary.
+func TableIVTable() *Table {
+	t := &Table{Title: "Table IV — TPC-H query summary",
+		Header: []string{"query", "scopes", "PIM section", "terms", "ops/scope"}}
+	for _, q := range tpch.Queries() {
+		section := "Filter only"
+		if q.Full {
+			section = "Full-query"
+		}
+		t.AddRow(q.Name, fmt.Sprintf("%d", q.Scopes), section,
+			fmt.Sprintf("%d", len(q.Terms)), fmt.Sprintf("%d", q.OpsPerScope()))
+	}
+	return t
+}
+
+// AreaTable renders the §VI-A hardware-overhead estimate.
+func AreaTable() *Table {
+	rep := EstimateArea()
+	t := &Table{Title: "Hardware overhead — scope buffer + SBV (paper: 0.092% / 0.22%)",
+		Header: []string{"configuration", "raw bit ratio", "calibrated area"}}
+	t.AddRow("LLC only (atomic/store/scope)",
+		fmt.Sprintf("%.4f%%", rep.LLCOnlyRawPct), fmt.Sprintf("%.3f%%", rep.LLCOnlyCalibratedPct))
+	t.AddRow("all caches (scope-relaxed)",
+		fmt.Sprintf("%.4f%%", rep.AllCachesRawPct), fmt.Sprintf("%.3f%%", rep.AllCachesCalibratedPct))
+	return t
+}
+
+// AblationTable quantifies the coherence hardware of §IV: the scope buffer
+// (avoids repeat scans) and the SBV (skips untouched sets). Without the
+// SBV a scan pays one cycle per LLC set; without the scope buffer every
+// PIM op scans.
+func AblationTable(opts Options) (*Table, error) {
+	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
+	p := ycsb.DefaultParams(records)
+	p.Operations = opts.ycsbOps()
+	p.Seed = opts.seed()
+	w := ycsb.New(p)
+
+	type variant struct {
+		name        string
+		noSB, noSBV bool
+	}
+	variants := []variant{
+		{"scope buffer + SBV (paper)", false, false},
+		{"no scope buffer", true, false},
+		{"no SBV", false, true},
+		{"neither", true, true},
+	}
+	t := &Table{Title: fmt.Sprintf("Ablation — §IV coherence hardware (YCSB, %d scopes, scope model)", w.Scopes),
+		Header: []string{"configuration", "run time norm", "mean scan latency", "scans", "sb hit rate"}}
+	var base float64
+	for _, v := range variants {
+		cfg := DefaultConfig()
+		cfg.Model = Scope
+		cfg.NoScopeBuffer = v.noSB
+		cfg.NoSBV = v.noSBV
+		res, err := ycsb.Run(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		if base == 0 {
+			base = float64(res.Cycles)
+		}
+		opts.log("ablation %s cycles=%d scanlat=%.1f", v.name, res.Cycles, res.Stats["llc.scan_latency_mean"])
+		t.AddRow(v.name,
+			report.F(float64(res.Cycles)/base),
+			report.F(res.Stats["llc.scan_latency_mean"]),
+			report.F(res.Stats["llc.scan_count"]),
+			report.F(res.Stats["llc.sb_hit_rate"]))
+	}
+	return t, nil
+}
+
+// ScopeBufferSizingTable reproduces the §IV-A sizing claim: "even a
+// small-sized scope buffer is sufficient to achieve close to the maximum
+// possible hit rate".
+func ScopeBufferSizingTable(opts Options) (*Table, error) {
+	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
+	p := ycsb.DefaultParams(records)
+	p.Operations = opts.ycsbOps()
+	p.Seed = opts.seed()
+	w := ycsb.New(p)
+
+	geoms := []struct{ sets, ways int }{{1, 1}, {4, 1}, {16, 1}, {64, 1}, {64, 4}}
+	t := &Table{Title: fmt.Sprintf("Scope buffer sizing (YCSB, %d scopes, scope model)", w.Scopes),
+		Header: []string{"geometry", "entries", "hit rate", "run time norm"}}
+	var base float64
+	for i := len(geoms) - 1; i >= 0; i-- { // largest first for the baseline
+		g := geoms[i]
+		cfg := DefaultConfig()
+		cfg.Model = Scope
+		cfg.LLCScopeBufSets, cfg.LLCScopeBufWays = g.sets, g.ways
+		res, err := ycsb.Run(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sizing %dx%d: %w", g.sets, g.ways, err)
+		}
+		if base == 0 {
+			base = float64(res.Cycles)
+		}
+		opts.log("sbsize %dx%d hit=%.3f", g.sets, g.ways, res.Stats["llc.sb_hit_rate"])
+		t.Rows = append([][]string{{
+			fmt.Sprintf("%d sets x %d ways", g.sets, g.ways),
+			fmt.Sprintf("%d", g.sets*g.ways),
+			report.F(res.Stats["llc.sb_hit_rate"]),
+			report.F(float64(res.Cycles) / base),
+		}}, t.Rows...)
+	}
+	return t, nil
+}
+
+// MultiModuleTable is an extension experiment: scopes distributed over N
+// PIM modules ("different PIM modules ... connect to the same host",
+// §II-A). More modules add module-level buffering and arrival bandwidth.
+func MultiModuleTable(opts Options) (*Table, error) {
+	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
+	p := ycsb.DefaultParams(records)
+	p.Operations = opts.ycsbOps()
+	p.Seed = opts.seed()
+	w := ycsb.New(p)
+	t := &Table{Title: fmt.Sprintf("Extension — multiple PIM modules (YCSB, %d scopes, scope model)", w.Scopes),
+		Header: []string{"modules", "run time norm", "mean buffer len", "peak buffer"}}
+	var base float64
+	for _, n := range []int{1, 2, 4} {
+		cfg := DefaultConfig()
+		cfg.Model = Scope
+		cfg.PIMModules = n
+		res, err := ycsb.Run(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("multimod %d: %w", n, err)
+		}
+		if base == 0 {
+			base = float64(res.Cycles)
+		}
+		opts.log("multimod n=%d cycles=%d", n, res.Cycles)
+		t.AddRow(fmt.Sprintf("%d", n),
+			report.F(float64(res.Cycles)/base),
+			report.F(res.Stats["pim.buffer_len_mean"]),
+			report.F(res.Stats["pim.peak_buffer"]))
+	}
+	return t, nil
+}
+
+// Experiments lists the regenerable artifacts.
+func Experiments() []string {
+	return []string{"fig1", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11a",
+		"fig11b", "fig12", "fig13", "table1", "table2", "table3", "table4",
+		"area", "ablation", "sbsize", "multimod", "all"}
+}
+
+// RunExperiment dispatches by name and returns the printable report.
+func RunExperiment(name string, opts Options) (string, error) {
+	var b strings.Builder
+	emit := func(items ...fmt.Stringer) {
+		for _, it := range items {
+			b.WriteString(it.String())
+			b.WriteByte('\n')
+		}
+	}
+	switch strings.ToLower(name) {
+	case "fig1":
+		t, err := Fig1Table(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(t)
+	case "fig3":
+		s, err := Fig3(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(s)
+	case "fig7", "fig10":
+		f, err := Fig7(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(f.Abs, f.Norm, f.BufLen, f.UniqueScopes, f.ScanLatency, f.SkipRatio)
+	case "fig8", "fig9":
+		f8, f9, err := Fig8Fig9(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(f8, f9)
+		y, err := Fig9YCSB(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(y)
+	case "fig11a":
+		s, err := Fig11a(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(s)
+	case "fig11b":
+		s, err := Fig11b(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(s)
+	case "fig12":
+		f, err := Fig12(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(f.Norm, f.ScanLatency, f.SkipRatio)
+	case "fig13":
+		s, err := Fig13(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(s)
+	case "table1":
+		emit(TableITable())
+	case "table2":
+		emit(TableIITable())
+	case "table3":
+		emit(TableIIITable())
+	case "table4":
+		emit(TableIVTable())
+	case "area":
+		emit(AreaTable())
+	case "ablation":
+		t, err := AblationTable(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(t)
+	case "sbsize":
+		t, err := ScopeBufferSizingTable(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(t)
+	case "multimod":
+		t, err := MultiModuleTable(opts)
+		if err != nil {
+			return "", err
+		}
+		emit(t)
+	case "all":
+		for _, e := range Experiments() {
+			if e == "all" || e == "fig10" || e == "fig9" {
+				continue // bundled with fig7 / fig8
+			}
+			out, err := RunExperiment(e, opts)
+			if err != nil {
+				return b.String(), fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Fprintf(&b, "==== %s ====\n%s\n", e, out)
+		}
+	default:
+		return "", fmt.Errorf("unknown experiment %q (have %v)", name, Experiments())
+	}
+	return b.String(), nil
+}

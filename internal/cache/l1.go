@@ -1,0 +1,286 @@
+package cache
+
+import (
+	"bulkpim/internal/core"
+	"bulkpim/internal/mem"
+	"bulkpim/internal/noc"
+	"bulkpim/internal/sim"
+	"bulkpim/internal/stats"
+)
+
+// L1 is a private first-level cache. Under the scope-relaxed model it also
+// carries a scope buffer and SBV so scope-fences can scan it (§V-E); PIM
+// ops pass through it unflushed on their way to the LLC.
+type L1 struct {
+	k      *sim.Kernel
+	CoreID int
+
+	arr        setAssoc
+	HitLatency sim.Tick
+
+	llc *LLC
+	up  *noc.Link // requests toward the LLC
+
+	// SB/SBV are non-nil only for the scope-relaxed model.
+	SB  *core.ScopeBuffer
+	SBV *core.SBV
+
+	mshr map[mem.LineAddr]*l1Miss
+
+	Hits, Misses stats.Counter
+	Writebacks   stats.Counter
+}
+
+type l1Waiter func(data []byte, writer uint64)
+
+type l1Miss struct {
+	excl    bool
+	stale   bool // scope flushed while miss outstanding: do not install
+	waiters []l1Waiter
+	// exclWaiters are store completions that need a writable fill.
+	exclWaiters []func()
+}
+
+// NewL1 builds a private cache of sets x ways bound to kernel k. The
+// upstream link and LLC are wired by the system builder via Connect.
+func NewL1(k *sim.Kernel, coreID, sets, ways int, hitLatency sim.Tick) *L1 {
+	return &L1{
+		k:          k,
+		CoreID:     coreID,
+		arr:        newSetAssoc(sets, ways),
+		HitLatency: hitLatency,
+		mshr:       make(map[mem.LineAddr]*l1Miss),
+	}
+}
+
+// Connect wires the L1 to its LLC and upstream link.
+func (c *L1) Connect(llc *LLC, up *noc.Link) {
+	c.llc = llc
+	c.up = up
+}
+
+// EnableScopeStructures attaches a scope buffer and SBV (scope-relaxed).
+func (c *L1) EnableScopeStructures(sbSets, sbWays int) {
+	c.SB = core.NewScopeBuffer(sbSets, sbWays)
+	c.SBV = core.NewSBV(c.arr.sets)
+}
+
+// TryLoad returns the line's data and writer on a hit.
+func (c *L1) TryLoad(l mem.LineAddr) (data []byte, writer uint64, ok bool) {
+	if ln := c.arr.Lookup(l); ln.Valid() {
+		c.Hits.Inc()
+		return ln.Data, ln.Writer, true
+	}
+	return nil, 0, false
+}
+
+// TryStore writes bytes into the line if the cache holds write permission
+// (E or M), transitioning it to M.
+func (c *L1) TryStore(l mem.LineAddr, off int, data []byte, writer uint64) bool {
+	ln := c.arr.Lookup(l)
+	if !ln.Valid() || (ln.State != Exclusive && ln.State != Modified) {
+		return false
+	}
+	c.Hits.Inc()
+	if ln.Data == nil {
+		ln.Data = make([]byte, mem.LineSize)
+	}
+	copy(ln.Data[off:off+len(data)], data)
+	ln.State = Modified
+	ln.Writer = writer
+	return true
+}
+
+// HasLine reports presence (tests, adversarial prefetcher).
+func (c *L1) HasLine(l mem.LineAddr) bool { return c.arr.Peek(l).Valid() }
+
+// RequestLine issues (or joins) a miss. done receives the line data when
+// the fill arrives; for exclusive requests the line is installed writable
+// before done runs.
+func (c *L1) RequestLine(req *mem.Request, done l1Waiter, exclDone func()) {
+	c.Misses.Inc()
+	l := req.Line
+	if e, ok := c.mshr[l]; ok {
+		if done != nil {
+			e.waiters = append(e.waiters, done)
+		}
+		if exclDone != nil {
+			e.exclWaiters = append(e.exclWaiters, exclDone)
+			if !e.excl {
+				// Upgrade needed; the fill logic reissues as exclusive.
+			}
+		}
+		return
+	}
+	e := &l1Miss{excl: req.Excl}
+	if done != nil {
+		e.waiters = append(e.waiters, done)
+	}
+	if exclDone != nil {
+		e.exclWaiters = append(e.exclWaiters, exclDone)
+	}
+	c.mshr[l] = e
+	c.sendMiss(req)
+}
+
+func (c *L1) sendMiss(req *mem.Request) {
+	c.up.Send(func() { c.llc.Receive(req) })
+}
+
+// ForwardPIM routes a PIM op (or scope-fence) through this cache level
+// toward the LLC without flushing it (scope-relaxed, §V-E). PIM ops and
+// scope-fences keep FIFO order on this path — the network must not let an
+// op overtake a fence it follows (§V-E's "not allowed to reorder around
+// the scope-fence in any path").
+func (c *L1) ForwardPIM(req *mem.Request) {
+	c.k.Schedule(c.HitLatency, func() {
+		c.up.SendOrdered(func() { c.llc.Receive(req) })
+	})
+}
+
+// Fill delivers a line from the LLC. state is Shared or Exclusive;
+// noCache fills (scope flushed while the miss was outstanding) are handed
+// to waiters without installing.
+func (c *L1) Fill(l mem.LineAddr, state MESI, data []byte, writer uint64, pimEnabled bool, scope mem.ScopeID, noCache bool) {
+	e := c.mshr[l]
+	if e == nil {
+		// Unsolicited fill (possible after local stale handling); drop.
+		return
+	}
+	if e.stale {
+		noCache = true
+		e.stale = false
+	}
+	if !noCache {
+		c.install(l, state, data, writer, pimEnabled, scope)
+	}
+	waiters := e.waiters
+	e.waiters = nil
+	for _, w := range waiters {
+		w(data, writer)
+	}
+	// Exclusive waiters need a writable installed line.
+	if len(e.exclWaiters) > 0 {
+		ln := c.arr.Peek(l)
+		if ln.Valid() && (ln.State == Exclusive || ln.State == Modified) {
+			exclWaiters := e.exclWaiters
+			delete(c.mshr, l)
+			for _, w := range exclWaiters {
+				w()
+			}
+			return
+		}
+		// Fill was shared or bypassed: reissue exclusively.
+		e.excl = true
+		c.sendMiss(&mem.Request{
+			Kind: mem.ReqLoad, Line: l, Scope: scope, Core: c.CoreID,
+			Excl: true, PIMEnabled: pimEnabled,
+		})
+		return
+	}
+	delete(c.mshr, l)
+}
+
+func (c *L1) install(l mem.LineAddr, state MESI, data []byte, writer uint64, pimEnabled bool, scope mem.ScopeID) {
+	if ln := c.arr.Peek(l); ln.Valid() {
+		// Upgrade in place (e.g. S -> E on a GetM fill).
+		ln.State = state
+		ln.Data = cloneData(data)
+		ln.Writer = writer
+		return
+	}
+	v := c.arr.Victim(l)
+	if v.Valid() {
+		c.evict(v)
+	}
+	c.arr.Install(v, l, state)
+	v.Data = cloneData(data)
+	v.Writer = writer
+	v.PIMEnabled = pimEnabled
+	v.Scope = scope
+	if pimEnabled {
+		if c.SBV != nil {
+			c.SBV.OnInsert(c.arr.SetOf(l))
+		}
+		if c.SB != nil {
+			c.SB.Invalidate(scope)
+		}
+	}
+}
+
+func (c *L1) evict(v *Line) {
+	if v.State == Modified {
+		c.Writebacks.Inc()
+		c.llc.WritebackFromL1(c.CoreID, v.Addr, v.Data, v.Writer)
+	}
+	if v.PIMEnabled && c.SBV != nil {
+		c.SBV.OnEvict(c.arr.SetOf(v.Addr))
+	}
+	c.arr.Invalidate(v)
+}
+
+// RecallLine is the LLC-initiated downgrade/invalidate. It returns the
+// line's data when the copy was dirty. Invalidation updates the SBV.
+func (c *L1) RecallLine(l mem.LineAddr, invalidate bool) (data []byte, writer uint64, dirty bool, present bool) {
+	ln := c.arr.Peek(l)
+	if !ln.Valid() {
+		return nil, 0, false, false
+	}
+	dirty = ln.State == Modified
+	data, writer = ln.Data, ln.Writer
+	if invalidate {
+		if ln.PIMEnabled && c.SBV != nil {
+			c.SBV.OnEvict(c.arr.SetOf(l))
+		}
+		c.arr.Invalidate(ln)
+	} else if ln.State == Modified || ln.State == Exclusive {
+		ln.State = Shared
+	}
+	return data, writer, dirty, true
+}
+
+// ScanFlushScope scans this cache for lines of the scope, writing dirty
+// ones back to the LLC and invalidating all of them. It returns the cost
+// drivers (sets checked, lines flushed) and marks outstanding misses to
+// the scope stale. Used by scope-fences at every level (§V-E).
+func (c *L1) ScanFlushScope(scope mem.ScopeID) (setsScanned, flushed int) {
+	if c.SB != nil && c.SB.Lookup(scope) {
+		c.markStale(scope)
+		return 0, 0
+	}
+	for s := 0; s < c.arr.sets; s++ {
+		if c.SBV != nil && !c.SBV.Test(s) {
+			continue
+		}
+		setsScanned++
+		var victims []*Line
+		c.arr.ForEachInSet(s, func(ln *Line) {
+			if ln.Scope == scope && ln.PIMEnabled {
+				victims = append(victims, ln)
+			}
+		})
+		for _, ln := range victims {
+			flushed++
+			c.evict(ln)
+		}
+	}
+	if c.SB != nil {
+		c.SB.Insert(scope)
+	}
+	c.markStale(scope)
+	return setsScanned, flushed
+}
+
+func (c *L1) markStale(scope mem.ScopeID) {
+	for l, e := range c.mshr {
+		if c.llc != nil && c.llc.Scopes != nil && c.llc.Scopes.ScopeOf(l.Addr()) == scope {
+			e.stale = true
+		}
+	}
+}
+
+// LineCount reports valid lines (tests).
+func (c *L1) LineCount() int { return c.arr.CountValid() }
+
+// MSHRLen reports outstanding misses (deadlock diagnostics).
+func (c *L1) MSHRLen() int { return len(c.mshr) }

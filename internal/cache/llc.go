@@ -1,0 +1,586 @@
+package cache
+
+import (
+	"bulkpim/internal/core"
+	"bulkpim/internal/mem"
+	"bulkpim/internal/memctrl"
+	"bulkpim/internal/noc"
+	"bulkpim/internal/sim"
+	"bulkpim/internal/stats"
+	"bulkpim/internal/trace"
+)
+
+// LLC is the shared, inclusive last-level cache with the MESI directory
+// and the paper's coherence hardware: the scope buffer and SBV (§IV). PIM
+// ops scan-and-flush their scope here before being forwarded to the memory
+// controller, which is what makes the flush atomic with the op.
+type LLC struct {
+	k     *sim.Kernel
+	Model core.Model
+
+	arr        setAssoc
+	HitLatency sim.Tick
+	// ScanPerSet / ScanPerLine drive scan cost: cycles per checked set and
+	// per flushed line.
+	ScanPerSet  sim.Tick
+	ScanPerLine sim.Tick
+
+	SB     *core.ScopeBuffer
+	SBV    *core.SBV
+	Scopes *mem.ScopeMap
+
+	l1s  []*L1
+	down []*noc.Link // per-core response links
+
+	mc     *memctrl.Controller
+	mcLink *noc.Link // LLC -> MC, FIFO (hardware memory channel)
+	mcResp *noc.Link // MC -> LLC fills
+
+	egress     []*mem.Request
+	inflightMC int
+	pumping    bool
+
+	queue         []func() sim.Tick
+	busyUntil     sim.Tick
+	wakeScheduled bool
+
+	mshr map[mem.LineAddr]*llcMiss
+
+	// Tracer, when enabled for CatCache, logs request handling and scans.
+	Tracer *trace.Tracer
+
+	// Stats feeding Fig. 9 / 10c / 10d.
+	ScanLatency  stats.Mean  // per PIM op, scope-buffer hits count as 0
+	SBHitRate    stats.Ratio // scope buffer hit rate
+	SkipRatio    stats.Mean  // SBV skipped-set ratio per actual scan
+	Scans        stats.Counter
+	LinesFlushed stats.Counter
+	Hits, Misses stats.Counter
+	Writebacks   stats.Counter
+	QueuePeak    int
+}
+
+type llcMiss struct {
+	stale   bool
+	issued  bool
+	waiters []*mem.Request
+}
+
+// NewLLC builds the shared cache. Wire it with Connect before use.
+func NewLLC(k *sim.Kernel, model core.Model, sets, ways int, hitLatency sim.Tick, scopes *mem.ScopeMap) *LLC {
+	l := &LLC{
+		k:           k,
+		Model:       model,
+		arr:         newSetAssoc(sets, ways),
+		HitLatency:  hitLatency,
+		ScanPerSet:  1,
+		ScanPerLine: 2,
+		Scopes:      scopes,
+		mshr:        make(map[mem.LineAddr]*llcMiss),
+	}
+	if model.FlushesLLCOnPIMOp() {
+		l.SB = core.NewScopeBuffer(64, 4)
+		l.SBV = core.NewSBV(sets)
+	}
+	return l
+}
+
+// Connect wires the LLC to its L1s, per-core response links, the memory
+// controller and the links to/from it.
+func (l *LLC) Connect(l1s []*L1, down []*noc.Link, mc *memctrl.Controller, mcLink, mcResp *noc.Link) {
+	l.l1s = l1s
+	l.down = down
+	l.mc = mc
+	l.mcLink = mcLink
+	l.mcResp = mcResp
+	mc.OnSpace = func() { l.pump() }
+}
+
+// SetScopeBufferGeometry overrides the default 64x4 scope buffer.
+func (l *LLC) SetScopeBufferGeometry(sets, ways int) {
+	if l.SB != nil {
+		l.SB = core.NewScopeBuffer(sets, ways)
+	}
+}
+
+// DisableScopeBuffer removes the scope buffer: every PIM op scans
+// (ablation of §IV-A).
+func (l *LLC) DisableScopeBuffer() { l.SB = nil }
+
+// DisableSBV removes the scope bit-vector: scans check every set
+// (ablation of §IV-B).
+func (l *LLC) DisableSBV() { l.SBV = nil }
+
+// Receive is the entry point for requests arriving over the network.
+func (l *LLC) Receive(req *mem.Request) {
+	l.enqueue(func() sim.Tick { return l.handle(req) })
+}
+
+func (l *LLC) enqueue(work func() sim.Tick) {
+	l.queue = append(l.queue, work)
+	if len(l.queue) > l.QueuePeak {
+		l.QueuePeak = len(l.queue)
+	}
+	l.process()
+}
+
+func (l *LLC) process() {
+	now := l.k.Now()
+	if now < l.busyUntil {
+		l.wake()
+		return
+	}
+	if len(l.queue) == 0 {
+		return
+	}
+	work := l.queue[0]
+	l.queue = l.queue[1:]
+	cost := work()
+	l.busyUntil = l.k.Now() + cost
+	if len(l.queue) > 0 {
+		l.wake()
+	}
+}
+
+func (l *LLC) wake() {
+	if l.wakeScheduled {
+		return
+	}
+	l.wakeScheduled = true
+	l.k.ScheduleAt(l.busyUntil, func() {
+		l.wakeScheduled = false
+		l.process()
+	})
+}
+
+// handle services one request and returns the cycles it occupies the LLC.
+func (l *LLC) handle(req *mem.Request) sim.Tick {
+	if l.Tracer.Enabled(trace.CatCache) {
+		l.Tracer.Emit(trace.CatCache, "llc", "%s", req)
+	}
+	switch {
+	case req.Uncacheable:
+		return l.handleUncacheable(req)
+	case req.Kind == mem.ReqPIMOp:
+		return l.handlePIMOp(req)
+	case req.Kind == mem.ReqScopeFence:
+		return l.handleScopeFence(req)
+	case req.Kind == mem.ReqFlush:
+		return l.handleFlush(req)
+	case req.Kind == mem.ReqLoad:
+		return l.handleMiss(req)
+	default:
+		// Stores reach the LLC only uncacheable; writebacks arrive via
+		// WritebackFromL1. Anything else is a programming error.
+		panic("cache: unexpected request at LLC: " + req.Kind.String())
+	}
+}
+
+func (l *LLC) handleUncacheable(req *mem.Request) sim.Tick {
+	finish := req.Done
+	req.Done = func() {
+		if finish != nil {
+			l.replyToCore(req.Core, finish)
+		}
+	}
+	l.egressPush(req)
+	return 1 // pass-through occupancy
+}
+
+// replyToCore delivers a completion callback over the core's response link.
+func (l *LLC) replyToCore(coreID int, fn func()) {
+	l.down[coreID].Send(fn)
+}
+
+// handleMiss services an L1 GetS/GetM.
+func (l *LLC) handleMiss(req *mem.Request) sim.Tick {
+	ln := l.arr.Lookup(req.Line)
+	if ln.Valid() {
+		l.Hits.Inc()
+		cost := l.HitLatency
+		if ln.Owner >= 0 && ln.Owner != req.Core {
+			data, writer, dirty, present := l.l1s[ln.Owner].RecallLine(req.Line, req.Excl)
+			if present {
+				if dirty {
+					ln.Data = cloneData(data)
+					ln.Writer = writer
+					ln.Dirty = true
+				}
+				if !req.Excl {
+					ln.Sharers |= 1 << uint(ln.Owner)
+				}
+			}
+			ln.Owner = -1
+			cost += 8 // owner round trip
+		}
+		l.grant(ln, req)
+		return cost
+	}
+	l.Misses.Inc()
+	e := l.mshr[req.Line]
+	if e == nil {
+		e = &llcMiss{}
+		l.mshr[req.Line] = e
+	}
+	e.waiters = append(e.waiters, req)
+	if !e.issued {
+		e.issued = true
+		l.issueMemoryFetch(req.Line, req.Scope)
+	}
+	return l.HitLatency
+}
+
+func (l *LLC) issueMemoryFetch(line mem.LineAddr, scope mem.ScopeID) {
+	fetch := &mem.Request{Kind: mem.ReqLoad, Line: line, Scope: scope, Core: -1}
+	fetch.Done = func() {
+		l.mcResp.Send(func() {
+			l.enqueue(func() sim.Tick { return l.fillArrived(fetch) })
+		})
+	}
+	l.egressPush(fetch)
+}
+
+// fillArrived installs a memory fill and serves the waiters.
+func (l *LLC) fillArrived(fetch *mem.Request) sim.Tick {
+	e := l.mshr[fetch.Line]
+	if e == nil {
+		return l.HitLatency
+	}
+	if e.stale {
+		// The scope was scanned-and-flushed while this miss was
+		// outstanding: installing would resurrect a pre-PIM copy after
+		// the flush that must be atomic with the PIM op. Loads get their
+		// (legitimately pre-PIM, ordered-before) data without caching;
+		// store misses are replayed so they fetch post-PIM data.
+		e.stale = false
+		var replay []*mem.Request
+		waiters := e.waiters
+		e.waiters = nil
+		for _, w := range waiters {
+			if w.Excl {
+				replay = append(replay, w)
+			} else {
+				l.deliverFill(w, Shared, fetch.Data, fetch.Writer, true)
+			}
+		}
+		if len(replay) > 0 {
+			e.waiters = replay
+			l.issueMemoryFetch(fetch.Line, fetch.Scope)
+			return l.HitLatency
+		}
+		delete(l.mshr, fetch.Line)
+		return l.HitLatency
+	}
+	delete(l.mshr, fetch.Line)
+	v := l.arr.Peek(fetch.Line)
+	if v.Valid() {
+		// The line reappeared (e.g. installed by a racing writeback path);
+		// reuse the slot.
+		l.arr.Invalidate(v)
+	} else {
+		v = l.arr.Victim(fetch.Line)
+		if v.Valid() {
+			l.evictVictim(v)
+		}
+	}
+	l.arr.Install(v, fetch.Line, Shared)
+	v.Data = cloneData(fetch.Data)
+	v.Writer = fetch.Writer
+	scope := l.Scopes.ScopeOf(fetch.Line.Addr())
+	v.Scope = scope
+	v.PIMEnabled = scope != mem.NoScope
+	if v.PIMEnabled {
+		if l.SBV != nil {
+			l.SBV.OnInsert(l.arr.SetOf(fetch.Line))
+		}
+		if l.SB != nil {
+			l.SB.Invalidate(scope)
+		}
+	}
+	waiters := e.waiters
+	for _, w := range waiters {
+		l.grant(v, w)
+	}
+	return l.HitLatency + sim.Tick(len(waiters))
+}
+
+// grant gives the requesting L1 its copy per MESI and replies with a fill.
+func (l *LLC) grant(ln *Line, req *mem.Request) {
+	var state MESI
+	if req.Excl {
+		// Invalidate all other holders.
+		for i := range l.l1s {
+			if i == req.Core {
+				continue
+			}
+			if ln.Sharers&(1<<uint(i)) != 0 || ln.Owner == i {
+				data, writer, dirty, present := l.l1s[i].RecallLine(ln.Addr, true)
+				if present && dirty {
+					ln.Data = cloneData(data)
+					ln.Writer = writer
+					ln.Dirty = true
+				}
+			}
+		}
+		ln.Sharers = 0
+		ln.Owner = req.Core
+		state = Exclusive
+	} else if ln.Sharers == 0 && ln.Owner < 0 {
+		ln.Owner = req.Core
+		state = Exclusive
+	} else {
+		ln.Sharers |= 1 << uint(req.Core)
+		state = Shared
+	}
+	data := cloneData(ln.Data)
+	writer := ln.Writer
+	pim := ln.PIMEnabled
+	scope := ln.Scope
+	addr := ln.Addr
+	coreID := req.Core
+	l.replyToCore(coreID, func() {
+		l.l1s[coreID].Fill(addr, state, data, writer, pim, scope, false)
+	})
+}
+
+// deliverFill sends a bypass (no-cache) fill for a stale miss.
+func (l *LLC) deliverFill(req *mem.Request, state MESI, data []byte, writer uint64, noCache bool) {
+	dataCopy := cloneData(data)
+	coreID := req.Core
+	addr := req.Line
+	scope := req.Scope
+	l.replyToCore(coreID, func() {
+		l.l1s[coreID].Fill(addr, state, dataCopy, writer, scope != mem.NoScope, scope, noCache)
+	})
+}
+
+// evictVictim enforces inclusivity: recall every L1 copy, write back dirty
+// data, clear SBV.
+func (l *LLC) evictVictim(v *Line) {
+	for i := range l.l1s {
+		if v.Sharers&(1<<uint(i)) != 0 || v.Owner == i {
+			data, writer, dirty, present := l.l1s[i].RecallLine(v.Addr, true)
+			if present && dirty {
+				v.Data = cloneData(data)
+				v.Writer = writer
+				v.Dirty = true
+			}
+		}
+	}
+	if v.Dirty {
+		l.writebackToMemory(v)
+	}
+	if v.PIMEnabled && l.SBV != nil {
+		l.SBV.OnEvict(l.arr.SetOf(v.Addr))
+	}
+	l.arr.Invalidate(v)
+}
+
+func (l *LLC) writebackToMemory(v *Line) {
+	l.Writebacks.Inc()
+	l.egressPush(&mem.Request{
+		Kind: mem.ReqWriteback, Line: v.Addr, Scope: v.Scope,
+		Data: cloneData(v.Data), Writer: v.Writer, Core: -1,
+	})
+}
+
+// WritebackFromL1 merges a dirty L1 eviction. State changes are atomic;
+// the link occupancy is charged by the caller's event timing.
+func (l *LLC) WritebackFromL1(coreID int, line mem.LineAddr, data []byte, writer uint64) {
+	ln := l.arr.Peek(line)
+	if !ln.Valid() {
+		// Raced with an LLC eviction whose recall already captured the
+		// data; nothing to do.
+		return
+	}
+	ln.Data = cloneData(data)
+	ln.Writer = writer
+	ln.Dirty = true
+	if ln.Owner == coreID {
+		ln.Owner = -1
+	}
+	ln.Sharers &^= 1 << uint(coreID)
+}
+
+// handleFlush implements the SW-Flush baseline's cache-line flush.
+func (l *LLC) handleFlush(req *mem.Request) sim.Tick {
+	cost := l.HitLatency
+	ln := l.arr.Peek(req.Line)
+	if ln.Valid() {
+		l.evictVictim(ln) // recalls L1 copies, writes back if dirty
+		cost += l.ScanPerLine
+	}
+	if req.Done != nil {
+		l.replyToCore(req.Core, req.Done)
+	}
+	return cost
+}
+
+// handlePIMOp implements Fig. 4: scope buffer lookup, scan-and-flush on a
+// miss, then forwarding to the memory controller. Baseline models forward
+// without any coherence action.
+func (l *LLC) handlePIMOp(req *mem.Request) sim.Tick {
+	if !l.Model.FlushesLLCOnPIMOp() {
+		l.egressPush(req)
+		return 1
+	}
+	l.markStaleMisses(req.Scope)
+	if l.SB != nil && l.SB.Lookup(req.Scope) {
+		l.SBHitRate.Hit()
+		l.ScanLatency.Observe(0)
+		l.egressPush(req)
+		return l.HitLatency
+	}
+	l.SBHitRate.Miss()
+	cost := l.scanFlush(req.Scope)
+	l.ScanLatency.Observe(float64(cost))
+	if l.SB != nil {
+		l.SB.Insert(req.Scope)
+	}
+	l.egressPush(req)
+	return l.HitLatency + cost
+}
+
+// handleScopeFence scans-and-flushes like a PIM op but terminates here,
+// acknowledging the issuing core (§V-E).
+func (l *LLC) handleScopeFence(req *mem.Request) sim.Tick {
+	cost := sim.Tick(0)
+	l.markStaleMisses(req.Scope)
+	if l.SB != nil && l.SB.Lookup(req.Scope) {
+		l.SBHitRate.Hit()
+	} else {
+		if l.SB != nil {
+			l.SBHitRate.Miss()
+		}
+		cost = l.scanFlush(req.Scope)
+		if l.SB != nil {
+			l.SB.Insert(req.Scope)
+		}
+	}
+	if req.Done != nil {
+		l.replyToCore(req.Core, req.Done)
+	}
+	return l.HitLatency + cost
+}
+
+// scanFlush walks the sets the SBV marks, flushing every line of the scope
+// (recalling L1 copies first), and returns the scan cost.
+func (l *LLC) scanFlush(scope mem.ScopeID) sim.Tick {
+	l.Scans.Inc()
+	scanned, flushed := 0, 0
+	for s := 0; s < l.arr.sets; s++ {
+		if l.SBV != nil && !l.SBV.Test(s) {
+			continue
+		}
+		scanned++
+		var victims []*Line
+		l.arr.ForEachInSet(s, func(ln *Line) {
+			if ln.Scope == scope {
+				victims = append(victims, ln)
+			}
+		})
+		for _, ln := range victims {
+			flushed++
+			l.evictVictim(ln)
+		}
+	}
+	l.LinesFlushed.Add(uint64(flushed))
+	l.SkipRatio.Observe(1 - float64(scanned)/float64(l.arr.sets))
+	if l.Tracer.Enabled(trace.CatCache) {
+		l.Tracer.Emit(trace.CatCache, "llc", "scan scope=%d sets=%d flushed=%d", scope, scanned, flushed)
+	}
+	return l.ScanPerSet*sim.Tick(scanned) + l.ScanPerLine*sim.Tick(flushed)
+}
+
+// markStaleMisses flags outstanding misses of the scope so their fills do
+// not resurrect flushed lines (see fillArrived).
+func (l *LLC) markStaleMisses(scope mem.ScopeID) {
+	for line, e := range l.mshr {
+		if l.Scopes.ScopeOf(line.Addr()) == scope {
+			e.stale = true
+		}
+	}
+}
+
+// egressPush appends a request to the FIFO toward the memory controller
+// and pumps it. Credits against the MC queue guarantee delivery order and
+// acceptance (the LLC is the controller's only producer).
+func (l *LLC) egressPush(req *mem.Request) {
+	l.egress = append(l.egress, req)
+	l.pump()
+}
+
+func (l *LLC) pump() {
+	if l.pumping {
+		return
+	}
+	l.pumping = true
+	for len(l.egress) > 0 && l.mc.QueueLen()+l.inflightMC < l.mc.QueueSize {
+		req := l.egress[0]
+		l.egress = l.egress[1:]
+		l.inflightMC++
+		l.mcLink.SendOrdered(func() {
+			l.inflightMC--
+			if !l.mc.Enqueue(req) {
+				panic("cache: MC rejected a credited request")
+			}
+		})
+	}
+	l.pumping = false
+}
+
+// EgressBacklog reports requests waiting for MC space (congestion signal).
+func (l *LLC) EgressBacklog() int { return len(l.egress) }
+
+// HasLine reports LLC presence of a line (tests).
+func (l *LLC) HasLine(line mem.LineAddr) bool { return l.arr.Peek(line).Valid() }
+
+// LineCount reports valid lines (tests).
+func (l *LLC) LineCount() int { return l.arr.CountValid() }
+
+// L1s exposes the connected L1 caches (system wiring, tests).
+func (l *LLC) L1s() []*L1 { return l.l1s }
+
+// CheckInclusive verifies every valid L1 line is present in the LLC
+// (property tests). It returns the first violating line address.
+func (l *LLC) CheckInclusive() (mem.LineAddr, bool) {
+	for _, l1 := range l.l1s {
+		for i := range l1.arr.lines {
+			ln := &l1.arr.lines[i]
+			if ln.valid && !l.arr.Peek(ln.Addr).Valid() {
+				return ln.Addr, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// CheckSWMR verifies the single-writer/multiple-reader invariant across
+// L1s: a line modified in one L1 appears in no other L1.
+func (l *LLC) CheckSWMR() (mem.LineAddr, bool) {
+	type holder struct{ m, any int }
+	seen := make(map[mem.LineAddr]*holder)
+	for _, l1 := range l.l1s {
+		for i := range l1.arr.lines {
+			ln := &l1.arr.lines[i]
+			if !ln.valid {
+				continue
+			}
+			h := seen[ln.Addr]
+			if h == nil {
+				h = &holder{}
+				seen[ln.Addr] = h
+			}
+			h.any++
+			if ln.State == Modified || ln.State == Exclusive {
+				h.m++
+			}
+		}
+	}
+	for addr, h := range seen {
+		if h.m > 0 && h.any > 1 {
+			return addr, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulkpim/internal/mem"
+)
+
+// Property: an execution generated from a legal sequentially consistent
+// interleaving (every read observes the latest write in one global order)
+// must never be flagged cyclic, under any model — the checker may only
+// reject genuinely impossible executions.
+func TestSCExecutionsNeverFlagged(t *testing.T) {
+	type step struct {
+		Thread uint8
+		Line   uint8
+		Write  bool
+	}
+	models := AllVariants()
+	prop := func(steps []step, modelPick uint8) bool {
+		if len(steps) > 60 {
+			steps = steps[:60]
+		}
+		model := models[int(modelPick)%len(models)]
+		r := NewRecorder(model)
+		lastWriter := map[mem.LineAddr]EventID{}
+		for _, s := range steps {
+			th := int(s.Thread % 4)
+			line := mem.LineAddr(uint64(s.Line%8) * mem.LineSize)
+			scope := mem.ScopeID(int64(s.Line % 2))
+			if s.Write {
+				ev := r.RecordOp(th, OpRef{Class: OpStore, Scope: scope, Line: line}, "w")
+				r.RecordWrite(ev, line)
+				lastWriter[line] = ev
+			} else {
+				ev := r.RecordOp(th, OpRef{Class: OpLoad, Scope: scope, Line: line}, "r")
+				r.RecordRead(ev, line, lastWriter[line])
+			}
+		}
+		return r.FindCycle() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reading values in the opposite order of two fence-separated
+// writes is always flagged (the classic MP violation), regardless of
+// which threads observe it.
+func TestMPViolationAlwaysFlagged(t *testing.T) {
+	prop := func(writerThread, readerThread uint8) bool {
+		wt := int(writerThread % 3)
+		rt := int(readerThread%3) + 3 // distinct thread
+		r := NewRecorder(Atomic)
+		lineD := mem.LineAddr(0x1000)
+		lineF := mem.LineAddr(0x2000)
+		wd := r.RecordOp(wt, OpRef{Class: OpStore, Line: lineD}, "W(data)")
+		r.RecordOp(wt, OpRef{Class: OpFenceFull}, "fence")
+		wf := r.RecordOp(wt, OpRef{Class: OpStore, Line: lineF}, "W(flag)")
+		r.RecordWrite(wd, lineD)
+		r.RecordWrite(wf, lineF)
+		// Reader: sees flag (new), then data (initial) — forbidden.
+		rf := r.RecordOp(rt, OpRef{Class: OpLoad, Line: lineF}, "R(flag)=new")
+		r.RecordRead(rf, lineF, wf)
+		rd := r.RecordOp(rt, OpRef{Class: OpLoad, Line: lineD}, "R(data)=init")
+		r.RecordRead(rd, lineD, 0)
+		return r.FindCycle() != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PIM-specific: under the scope model, a same-scope load observed before
+// an earlier PIM op is a violation; the identical shape across scopes is
+// legal.
+func TestScopeModelSameVsCrossScopeFlagging(t *testing.T) {
+	build := func(sameScope bool) *Recorder {
+		r := NewRecorder(Scope)
+		pimScope := mem.ScopeID(0)
+		loadScope := mem.ScopeID(1)
+		if sameScope {
+			loadScope = pimScope
+		}
+		lineP := mem.LineAddr(0x100000)
+		lineL := mem.LineAddr(0x200000)
+		pim := r.RecordOp(0, OpRef{Class: OpPIM, Scope: pimScope}, "PIM")
+		st := r.RecordOp(0, OpRef{Class: OpStore, Scope: loadScope, Line: lineL}, "W")
+		r.RecordWrite(st, lineL)
+		r.RecordWrite(pim, lineP)
+		// Observer: sees the store, then reads the PIM line pre-PIM.
+		o1 := r.RecordOp(1, OpRef{Class: OpLoad, Scope: loadScope, Line: lineL}, "R(W)")
+		r.RecordRead(o1, lineL, st)
+		o2 := r.RecordOp(1, OpRef{Class: OpLoad, Scope: pimScope, Line: lineP}, "R(pre-PIM)")
+		r.RecordRead(o2, lineP, 0)
+		return r
+	}
+	if build(true).FindCycle() == nil {
+		t.Error("same-scope PIM/store reorder must be flagged under the scope model")
+	}
+	if c := build(false).FindCycle(); c != nil {
+		t.Errorf("cross-scope reorder wrongly flagged: %v", c)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulkpim/internal/mem"
+)
+
+func TestScopeBufferBasic(t *testing.T) {
+	b := NewScopeBuffer(4, 2)
+	if b.Lookup(1) {
+		t.Fatal("empty buffer hit")
+	}
+	b.Insert(1)
+	if !b.Lookup(1) {
+		t.Fatal("inserted scope missing")
+	}
+	if !b.Invalidate(1) {
+		t.Fatal("invalidate missed")
+	}
+	if b.Lookup(1) {
+		t.Fatal("invalidated scope still present")
+	}
+	if b.Invalidate(1) {
+		t.Fatal("double invalidate reported success")
+	}
+}
+
+func TestScopeBufferLRUEviction(t *testing.T) {
+	// One set, two ways: scopes 0, 4, 8 all map to set 0 (4 sets).
+	b := NewScopeBuffer(4, 2)
+	b.Insert(0)
+	b.Insert(4)
+	b.Lookup(0) // make scope 4 the LRU
+	b.Insert(8) // must evict 4
+	if !b.Lookup(0) || !b.Lookup(8) {
+		t.Fatal("expected scopes missing")
+	}
+	if b.Lookup(4) {
+		t.Fatal("LRU scope not evicted")
+	}
+}
+
+func TestScopeBufferReinsertRefreshes(t *testing.T) {
+	b := NewScopeBuffer(1, 2)
+	b.Insert(0)
+	b.Insert(1)
+	b.Insert(0) // refresh, no duplicate
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+	b.Insert(2) // evicts 1 (LRU)
+	if b.Lookup(1) {
+		t.Fatal("refresh did not update LRU")
+	}
+	if !b.Lookup(0) || !b.Lookup(2) {
+		t.Fatal("expected scopes missing")
+	}
+}
+
+func TestScopeBufferGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero ways")
+		}
+	}()
+	NewScopeBuffer(4, 0)
+}
+
+func TestScopeBufferBits(t *testing.T) {
+	b := NewScopeBuffer(64, 4)
+	// 14-bit scope IDs, 6 index bits -> 8 tag + 1 valid + 2 LRU = 11 bits.
+	if got := b.Bits(14); got != 64*4*11 {
+		t.Fatalf("bits = %d, want %d", got, 64*4*11)
+	}
+}
+
+// Property: a scope buffer never reports a scope it was not told about, and
+// capacity is never exceeded.
+func TestScopeBufferProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		b := NewScopeBuffer(8, 2)
+		present := make(map[mem.ScopeID]bool)
+		for _, o := range ops {
+			s := mem.ScopeID(o % 64)
+			switch o % 3 {
+			case 0:
+				b.Insert(s)
+				present[s] = true
+			case 1:
+				b.Invalidate(s)
+				present[s] = false
+			case 2:
+				if b.Lookup(s) && !present[s] {
+					return false // hit on never-inserted or invalidated scope
+				}
+			}
+			if b.Len() > b.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBV(t *testing.T) {
+	v := NewSBV(8)
+	if v.Test(3) {
+		t.Fatal("fresh SBV bit set")
+	}
+	v.OnInsert(3)
+	v.OnInsert(3)
+	if !v.Test(3) {
+		t.Fatal("bit should be set")
+	}
+	v.OnEvict(3)
+	if !v.Test(3) {
+		t.Fatal("bit should remain set with one line left")
+	}
+	v.OnEvict(3)
+	if v.Test(3) {
+		t.Fatal("bit should clear when last PIM line leaves")
+	}
+	if v.PopCount() != 0 {
+		t.Fatal("popcount wrong")
+	}
+	v.OnInsert(0)
+	v.OnInsert(7)
+	if v.PopCount() != 2 {
+		t.Fatal("popcount wrong")
+	}
+	if got := v.SkipRatio(); got != 0.75 {
+		t.Fatalf("skip ratio = %g, want 0.75", got)
+	}
+	if v.Bits() != 8 || v.Sets() != 8 {
+		t.Fatal("geometry accessors wrong")
+	}
+}
+
+func TestSBVUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected underflow panic")
+		}
+	}()
+	NewSBV(4).OnEvict(0)
+}
+
+// Property: SBV bit equals (insertions - evictions > 0) per set.
+func TestSBVProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		v := NewSBV(4)
+		counts := make([]int, 4)
+		for _, o := range ops {
+			set := int(o % 4)
+			if o&0x80 != 0 && counts[set] > 0 {
+				v.OnEvict(set)
+				counts[set]--
+			} else {
+				v.OnInsert(set)
+				counts[set]++
+			}
+		}
+		for s := 0; s < 4; s++ {
+			if v.Test(s) != (counts[s] > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaModelMatchesPaper(t *testing.T) {
+	rep := EstimateArea(DefaultAreaConfig())
+	// Paper §VI-A: 0.092% for the LLC structures, 0.22% for all caches.
+	if rep.LLCOnlyCalibratedPct < 0.085 || rep.LLCOnlyCalibratedPct > 0.099 {
+		t.Errorf("LLC overhead = %.4f%%, want ~0.092%%", rep.LLCOnlyCalibratedPct)
+	}
+	if rep.AllCachesCalibratedPct < 0.20 || rep.AllCachesCalibratedPct > 0.24 {
+		t.Errorf("all-caches overhead = %.4f%%, want ~0.22%%", rep.AllCachesCalibratedPct)
+	}
+	// Raw bit ratios are strictly smaller and still tiny.
+	if rep.LLCOnlyRawPct <= 0 || rep.LLCOnlyRawPct >= rep.LLCOnlyCalibratedPct {
+		t.Errorf("raw pct %v not in (0, calibrated)", rep.LLCOnlyRawPct)
+	}
+	if rep.AllCachesCalibratedPct <= rep.LLCOnlyCalibratedPct {
+		t.Error("all-caches overhead should exceed LLC-only")
+	}
+}

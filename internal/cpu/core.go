@@ -1,0 +1,886 @@
+package cpu
+
+import (
+	"fmt"
+
+	"bulkpim/internal/cache"
+	"bulkpim/internal/core"
+	"bulkpim/internal/mem"
+	"bulkpim/internal/noc"
+	"bulkpim/internal/sim"
+	"bulkpim/internal/stats"
+	"bulkpim/internal/trace"
+)
+
+// Core executes one thread's instruction stream under a consistency model.
+// Loads and stores follow x86-TSO (store buffer with forwarding, loads may
+// bypass pending stores to other lines); PIM ops follow the model's issuing
+// process of §V.
+//
+// Execution states: a running core issues one instruction per step. An
+// instruction that cannot proceed yet either parks as a *retry* (the gate
+// is re-evaluated on the next wake: gated loads, full store buffer, PIM
+// credit exhaustion) or leaves the core *waiting* for a specific completion
+// callback (load fills, ACK of an atomic PIM op, barriers). Spurious wakes
+// never advance the stream: they only re-evaluate parked instructions.
+type Core struct {
+	k  *sim.Kernel
+	ID int
+
+	Model  core.Model
+	L1     *cache.L1
+	LLC    *cache.LLC
+	Direct *noc.Link // core -> LLC path for PIM ops, flushes, uncacheable
+	Scopes *mem.ScopeMap
+
+	// HB, when non-nil and enabled, records the happens-before relation.
+	HB *core.Recorder
+	// Tracer, when enabled for CatCPU, logs instruction issue and ACKs.
+	Tracer *trace.Tracer
+
+	// Timing knobs.
+	IssueCost      sim.Tick // per-instruction issue cost
+	L1HitLatency   sim.Tick
+	WordExtra      sim.Tick // per extra word touched within a hit line
+	MLP            int      // outstanding burst misses
+	StoreBufferCap int
+	// PIMCredits bounds un-ACKed PIM ops in the memory subsystem (NoC
+	// flow control; ordering models impose stricter gates on top).
+	PIMCredits int
+
+	thread Thread
+	done   bool
+	OnDone func(coreID int)
+
+	state      runState
+	pending    Instr
+	wakeQueued bool
+	// awaitSeq matches completion callbacks to the await they belong to;
+	// a stale callback (e.g. a scheduled burst poll firing after the burst
+	// finished) must never resume a later wait.
+	awaitSeq uint64
+
+	// Store buffer (TSO FIFO; PIM ops ride it under the store model).
+	sb        []sbEntry
+	sbWaiting bool
+	draining  bool
+
+	// Scope-model per-scope PIM queues (non-FIFO entry point, §V-D).
+	pimQueues map[mem.ScopeID][]*pimEntry
+
+	// Tracking.
+	outLoads     int
+	pimUnacked   map[mem.ScopeID]int // sent, ACK pending (atomic/scope)
+	pimCreditUse int                 // flow-control credits in use
+	fencePending map[mem.ScopeID]int // outstanding scope fences
+	pimFenceWait bool
+	ackToken     uint64
+
+	reqID uint64
+
+	lastInstr InstrKind
+
+	// Stats.
+	Instrs      stats.Counter
+	LoadsIssued stats.Counter
+	PIMIssued   stats.Counter
+	Stalls      stats.Counter
+
+	FinishedAt sim.Tick
+}
+
+type runState uint8
+
+const (
+	stRunning runState = iota
+	stRetry            // pending instruction re-evaluated on wake
+	stWaiting          // a completion callback will resume the core
+)
+
+type sbEntry struct {
+	line   mem.LineAddr
+	off    int
+	data   []byte
+	scope  mem.ScopeID
+	writer core.EventID
+	// pim marks a PIM op travelling through the FIFO entry point (store
+	// model).
+	pim      *pimEntry
+	issued   bool // pim/uncached store sent, waiting completion
+	uncached bool
+}
+
+type pimEntry struct {
+	req *mem.Request
+	ev  core.EventID
+}
+
+// NewCore builds a core; wire the caches/links before Start.
+func NewCore(k *sim.Kernel, id int, model core.Model) *Core {
+	return &Core{
+		k:              k,
+		ID:             id,
+		Model:          model,
+		IssueCost:      1,
+		L1HitLatency:   3,
+		WordExtra:      1,
+		MLP:            8,
+		StoreBufferCap: 32,
+		PIMCredits:     48,
+		pimQueues:      make(map[mem.ScopeID][]*pimEntry),
+		pimUnacked:     make(map[mem.ScopeID]int),
+		fencePending:   make(map[mem.ScopeID]int),
+	}
+}
+
+// Start begins executing t.
+func (c *Core) Start(t Thread) {
+	c.thread = t
+	c.k.Schedule(0, c.step)
+}
+
+// Done reports thread completion.
+func (c *Core) Done() bool { return c.done }
+
+// wake re-evaluates a parked (retry) instruction. Wakes while running or
+// waiting are ignored: completions resume explicitly.
+func (c *Core) wake() {
+	if c.done || c.state != stRetry || c.wakeQueued {
+		return
+	}
+	c.wakeQueued = true
+	c.k.Schedule(0, func() {
+		c.wakeQueued = false
+		if c.state != stRetry {
+			return
+		}
+		c.state = stRunning
+		in := c.pending
+		c.exec(in)
+	})
+}
+
+// resume continues the stream after the completion callback matching
+// token (issued by await). Stale or duplicate callbacks are ignored.
+func (c *Core) resume(token uint64, after sim.Tick) {
+	if c.done || c.state != stWaiting || token != c.awaitSeq {
+		return
+	}
+	c.state = stRunning
+	c.next(after)
+}
+
+// park re-tries in on the next wake.
+func (c *Core) park(in Instr) {
+	c.Stalls.Inc()
+	c.state = stRetry
+	c.pending = in
+}
+
+// await leaves the core waiting for an explicit resume and returns the
+// token the resuming callback must present.
+func (c *Core) await() uint64 {
+	c.state = stWaiting
+	c.awaitSeq++
+	return c.awaitSeq
+}
+
+// step issues one instruction.
+func (c *Core) step() {
+	if c.done || c.state != stRunning {
+		return
+	}
+	instr, ok := c.thread.Next()
+	if !ok {
+		c.retire()
+		return
+	}
+	c.Instrs.Inc()
+	c.lastInstr = instr.Kind
+	if c.Tracer.Enabled(trace.CatCPU) {
+		c.Tracer.Emit(trace.CatCPU, fmt.Sprintf("core%d", c.ID), "issue kind=%d addr=%#x scope=%d %s",
+			instr.Kind, uint64(instr.Addr), instr.Scope, instr.Label)
+	}
+	c.exec(instr)
+}
+
+func (c *Core) retire() {
+	c.done = true
+	c.FinishedAt = c.k.Now()
+	if c.OnDone != nil {
+		c.OnDone(c.ID)
+	}
+}
+
+func (c *Core) next(after sim.Tick) {
+	c.k.Schedule(after+c.IssueCost, c.step)
+}
+
+func (c *Core) exec(in Instr) {
+	switch in.Kind {
+	case InstrCompute:
+		c.next(in.Cycles)
+	case InstrStore:
+		c.execStore(in)
+	case InstrLoad:
+		c.execLoad(in)
+	case InstrLoadBurst:
+		c.execBurst(in)
+	case InstrPIMOp:
+		c.execPIM(in)
+	case InstrFlush:
+		c.execFlush(in)
+	case InstrFenceFull:
+		c.execFenceFull(in)
+	case InstrFencePIM:
+		c.execFencePIM(in)
+	case InstrScopeFence:
+		c.execScopeFence(in)
+	case InstrBarrier:
+		tok := c.await()
+		in.Barrier.Arrive(func() { c.resume(tok, 0) })
+	default:
+		panic("cpu: unknown instruction")
+	}
+}
+
+func (c *Core) scopeOf(a mem.Addr) mem.ScopeID { return c.Scopes.ScopeOf(a) }
+
+func (c *Core) newReq(kind mem.ReqKind, line mem.LineAddr, scope mem.ScopeID) *mem.Request {
+	c.reqID++
+	return &mem.Request{
+		ID: c.reqID<<8 | uint64(c.ID), Kind: kind, Line: line, Scope: scope,
+		Core: c.ID, PIMEnabled: scope != mem.NoScope,
+	}
+}
+
+// ---- stores ----
+
+func (c *Core) execStore(in Instr) {
+	if len(c.sb) >= c.StoreBufferCap {
+		c.sbWaiting = true
+		c.park(in)
+		return
+	}
+	scope := c.scopeOf(in.Addr)
+	line := mem.LineOf(in.Addr)
+	var ev core.EventID
+	if c.hbOn() {
+		ev = c.HB.RecordOp(c.ID, core.OpRef{Class: core.OpStore, Scope: scope, Line: line}, in.Label)
+	}
+	data := make([]byte, len(in.Data))
+	copy(data, in.Data)
+	c.sb = append(c.sb, sbEntry{
+		line: line, off: int(in.Addr - line.Addr()), data: data,
+		scope: scope, writer: ev,
+		uncached: c.Model == core.Uncacheable && scope != mem.NoScope,
+	})
+	c.kickDrain()
+	c.next(0)
+}
+
+func (c *Core) kickDrain() {
+	if c.draining || len(c.sb) == 0 {
+		return
+	}
+	c.draining = true
+	c.k.Schedule(1, func() {
+		c.draining = false
+		c.drainStep()
+	})
+}
+
+// drainStep retires the store buffer head (TSO: stores leave in order; a
+// held head holds everything behind it).
+func (c *Core) drainStep() {
+	if len(c.sb) == 0 {
+		c.drainProgressed()
+		return
+	}
+	e := &c.sb[0]
+	if e.issued {
+		return // completion resumes the drain
+	}
+	if e.pim != nil {
+		// Store-model PIM op at the entry point head (Fig. 6b): send and
+		// hold everything behind it until the ACK.
+		e.issued = true
+		c.pimCreditUse++
+		c.sendDirect(e.pim.req)
+		return
+	}
+	// Scope model: a store to a scope with an in-flight PIM op is held
+	// (same-scope order), holding later stores per TSO.
+	if c.Model == core.Scope && e.scope != mem.NoScope && c.pimPendingTo(e.scope) > 0 {
+		return // ACK resumes via kickDrain
+	}
+	if e.uncached {
+		e.issued = true
+		req := c.newReq(mem.ReqStore, e.line, e.scope)
+		req.Uncacheable = true
+		req.Data = e.data
+		req.Off, req.Size = e.off, len(e.data)
+		req.Writer = uint64(e.writer)
+		req.Done = func() { c.popStore() }
+		c.sendDirect(req)
+		return
+	}
+	if c.L1.TryStore(e.line, e.off, e.data, uint64(e.writer)) {
+		if c.hbOn() {
+			c.HB.RecordWrite(e.writer, e.line)
+		}
+		c.popStore()
+		return
+	}
+	// Need write permission.
+	e.issued = true
+	req := c.newReq(mem.ReqLoad, e.line, e.scope)
+	req.Excl = true
+	line, off, data, writer := e.line, e.off, e.data, e.writer
+	c.L1.RequestLine(req, nil, func() {
+		if !c.L1.TryStore(line, off, data, uint64(writer)) {
+			panic("cpu: store failed after exclusive fill")
+		}
+		if c.hbOn() {
+			c.HB.RecordWrite(writer, line)
+		}
+		c.popStore()
+	})
+}
+
+func (c *Core) popStore() {
+	scope := c.sb[0].scope
+	c.sb = c.sb[1:]
+	c.drainProgressed()
+	c.tryLaunchScopePIM(scope)
+	c.kickDrain()
+}
+
+func (c *Core) drainProgressed() {
+	if c.sbWaiting && len(c.sb) < c.StoreBufferCap {
+		c.sbWaiting = false
+	}
+	c.wake()
+}
+
+// sbForward searches the store buffer for the newest store covering the
+// read (TSO store-to-load forwarding).
+func (c *Core) sbForward(a mem.Addr, size int) ([]byte, core.EventID, bool) {
+	line := mem.LineOf(a)
+	off := int(a - line.Addr())
+	for i := len(c.sb) - 1; i >= 0; i-- {
+		e := &c.sb[i]
+		if e.pim != nil || e.line != line {
+			continue
+		}
+		if off >= e.off && off+size <= e.off+len(e.data) {
+			return e.data[off-e.off : off-e.off+size], e.writer, true
+		}
+	}
+	return nil, 0, false
+}
+
+// sbHasLine reports a pending store to the line (loads must not pass it
+// when forwarding cannot satisfy them).
+func (c *Core) sbHasLine(line mem.LineAddr) bool {
+	for i := range c.sb {
+		if c.sb[i].pim == nil && c.sb[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- loads ----
+
+// loadGated reports whether the model holds back a load to scope.
+func (c *Core) loadGated(scope mem.ScopeID) bool {
+	if scope == mem.NoScope {
+		return false
+	}
+	switch c.Model {
+	case core.Store, core.Scope:
+		// Loads to the scope of a pending PIM op wait for its ACK (§V-C/D).
+		return c.pimPendingTo(scope) > 0
+	case core.ScopeRelaxed:
+		return c.fencePending[scope] > 0
+	default:
+		return false
+	}
+}
+
+// pimPendingTo counts PIM ops to scope that are buffered or un-ACKed.
+func (c *Core) pimPendingTo(scope mem.ScopeID) int {
+	n := c.pimUnacked[scope]
+	for i := range c.sb {
+		if c.sb[i].pim != nil && c.sb[i].scope == scope {
+			n++
+		}
+	}
+	n += len(c.pimQueues[scope])
+	return n
+}
+
+func (c *Core) totalPIMPending() int {
+	n := c.pimCreditUse
+	for i := range c.sb {
+		if c.sb[i].pim != nil && !c.sb[i].issued {
+			n++
+		}
+	}
+	for _, q := range c.pimQueues {
+		n += len(q)
+	}
+	return n
+}
+
+func (c *Core) execLoad(in Instr) {
+	size := in.Size
+	if size <= 0 {
+		size = mem.WordSize
+	}
+	scope := c.scopeOf(in.Addr)
+	line := mem.LineOf(in.Addr)
+	if c.loadGated(scope) {
+		c.park(in)
+		return
+	}
+	var ev core.EventID
+	if c.hbOn() {
+		ev = c.HB.RecordOp(c.ID, core.OpRef{Class: core.OpLoad, Scope: scope, Line: line}, in.Label)
+	}
+	c.LoadsIssued.Inc()
+	// TSO store-to-load forwarding.
+	if data, writer, ok := c.sbForward(in.Addr, size); ok {
+		if c.hbOn() {
+			c.HB.RecordRead(ev, line, writer)
+		}
+		c.deliverLoad(in, line, data)
+		c.next(1)
+		return
+	}
+	if c.sbHasLine(line) {
+		// Partial overlap with a pending store: wait for the drain.
+		c.park(in)
+		c.kickDrain()
+		return
+	}
+	if c.Model == core.Uncacheable && scope != mem.NoScope {
+		req := c.newReq(mem.ReqLoad, line, scope)
+		req.Uncacheable = true
+		req.Off, req.Size = int(in.Addr-line.Addr()), size
+		c.outLoads++
+		tok := c.await()
+		req.Done = func() {
+			c.outLoads--
+			if c.hbOn() {
+				c.HB.RecordRead(ev, line, req.Writer)
+			}
+			c.deliverLoad(in, line, req.Data)
+			c.resume(tok, 0)
+		}
+		c.sendDirect(req)
+		return
+	}
+	if data, writer, ok := c.L1.TryLoad(line); ok {
+		if c.hbOn() {
+			c.HB.RecordRead(ev, line, writer)
+		}
+		c.deliverLoad(in, line, data)
+		c.next(c.L1HitLatency)
+		return
+	}
+	req := c.newReq(mem.ReqLoad, line, scope)
+	c.outLoads++
+	tok := c.await()
+	c.L1.RequestLine(req, func(data []byte, writer uint64) {
+		c.outLoads--
+		if c.hbOn() {
+			c.HB.RecordRead(ev, line, writer)
+		}
+		c.deliverLoad(in, line, data)
+		c.resume(tok, 0)
+	}, nil)
+}
+
+func (c *Core) deliverLoad(in Instr, line mem.LineAddr, data []byte) {
+	if in.OnData != nil {
+		in.OnData(line, data)
+	}
+}
+
+// ---- bursts ----
+
+type burstState struct {
+	in       Instr
+	lines    []mem.LineAddr
+	words    []int
+	idx      int
+	inflight int
+	token    uint64
+	done     bool
+}
+
+func (c *Core) execBurst(in Instr) {
+	// Bursts read PIM results and records; drain the store buffer first so
+	// reads never race the thread's own pending stores.
+	if len(c.sb) > 0 {
+		c.park(in)
+		c.kickDrain()
+		return
+	}
+	bs := &burstState{in: in}
+	for _, r := range in.Burst {
+		if r.Bytes <= 0 {
+			continue
+		}
+		first := mem.LineOf(r.Start)
+		last := mem.LineOf(r.Start + mem.Addr(r.Bytes) - 1)
+		for l := first; ; l += mem.LineSize {
+			lo := max64(uint64(l.Addr()), uint64(r.Start))
+			hi := min64(uint64(l.Addr())+mem.LineSize, uint64(r.Start)+uint64(r.Bytes))
+			words := int(hi-lo+mem.WordSize-1) / mem.WordSize
+			bs.lines = append(bs.lines, l)
+			bs.words = append(bs.words, words)
+			if l == last {
+				break
+			}
+		}
+	}
+	if len(bs.lines) == 0 {
+		c.next(0)
+		return
+	}
+	bs.token = c.await()
+	c.burstStep(bs)
+}
+
+func (c *Core) burstStep(bs *burstState) {
+	if bs.done {
+		return // stale poll after completion
+	}
+	for bs.idx < len(bs.lines) {
+		line := bs.lines[bs.idx]
+		words := bs.words[bs.idx]
+		scope := c.scopeOf(line.Addr())
+		if c.loadGated(scope) {
+			c.retryBurst(bs, 4) // poll: ACK/fence completion clears the gate
+			return
+		}
+		if bs.inflight >= c.MLP {
+			return // a completion continues the burst
+		}
+		bs.idx++
+		c.LoadsIssued.Inc()
+		extra := c.WordExtra * sim.Tick(words-1)
+		if c.Model == core.Uncacheable && scope != mem.NoScope {
+			// Every word is a separate memory transaction.
+			for w := 0; w < words; w++ {
+				bs.inflight++
+				req := c.newReq(mem.ReqLoad, line, scope)
+				req.Uncacheable = true
+				req.Off, req.Size = w*mem.WordSize, mem.WordSize
+				first := w == 0
+				req.Done = func() {
+					bs.inflight--
+					if first {
+						c.deliverLoad(bs.in, line, req.Data)
+					}
+					c.burstStep(bs)
+				}
+				c.sendDirect(req)
+			}
+			if bs.inflight >= c.MLP {
+				return
+			}
+			continue
+		}
+		if data, _, ok := c.L1.TryLoad(line); ok {
+			c.deliverLoad(bs.in, line, data)
+			c.retryBurst(bs, c.L1HitLatency+extra)
+			return
+		}
+		bs.inflight++
+		req := c.newReq(mem.ReqLoad, line, scope)
+		c.L1.RequestLine(req, func(data []byte, writer uint64) {
+			bs.inflight--
+			c.deliverLoad(bs.in, line, data)
+			c.burstStep(bs)
+		}, nil)
+	}
+	if bs.inflight == 0 {
+		bs.done = true
+		c.resume(bs.token, 0) // burst complete
+	}
+}
+
+func (c *Core) retryBurst(bs *burstState, after sim.Tick) {
+	c.k.Schedule(after, func() { c.burstStep(bs) })
+}
+
+// ---- PIM ops ----
+
+func (c *Core) buildPIMReq(in Instr) *pimEntry {
+	req := c.newReq(mem.ReqPIMOp, mem.LineOf(c.Scopes.ScopeBase(in.Scope)), in.Scope)
+	req.PIM = &mem.PIMCommand{Scope: in.Scope, Program: in.Prog}
+	var ev core.EventID
+	if c.hbOn() {
+		ev = c.HB.RecordOp(c.ID, core.OpRef{Class: core.OpPIM, Scope: in.Scope}, in.Label)
+	}
+	req.Writer = uint64(ev)
+	return &pimEntry{req: req, ev: ev}
+}
+
+func (c *Core) execPIM(in Instr) {
+	// Flow control: bound un-ACKed PIM ops in the memory subsystem.
+	if c.totalPIMPending() >= c.PIMCredits {
+		c.park(in)
+		return
+	}
+	switch c.Model {
+	case core.Atomic:
+		// Fig. 6a: a fence around the op, then stall until the ACK.
+		if len(c.sb) > 0 || c.outLoads > 0 {
+			c.park(in)
+			c.kickDrain()
+			return
+		}
+		e := c.buildPIMReq(in)
+		c.PIMIssued.Inc()
+		c.pimUnacked[in.Scope]++
+		c.pimCreditUse++
+		c.ackToken = c.await() // the ACK resumes the core
+		c.sendDirect(e.req)
+	case core.Store:
+		// Fig. 6b: commit immediately; the op rides the FIFO entry point.
+		if len(c.sb) >= c.StoreBufferCap {
+			c.sbWaiting = true
+			c.park(in)
+			return
+		}
+		e := c.buildPIMReq(in)
+		c.PIMIssued.Inc()
+		c.sb = append(c.sb, sbEntry{scope: in.Scope, pim: e})
+		c.kickDrain()
+		c.next(1)
+	case core.Scope:
+		// §V-D: non-FIFO entry point; ops queue per scope.
+		e := c.buildPIMReq(in)
+		c.PIMIssued.Inc()
+		if c.pimUnacked[in.Scope] > 0 || len(c.pimQueues[in.Scope]) > 0 || c.sbHasScopeStore(in.Scope) {
+			c.pimQueues[in.Scope] = append(c.pimQueues[in.Scope], e)
+		} else {
+			c.pimUnacked[in.Scope]++
+			c.pimCreditUse++
+			c.sendDirect(e.req)
+		}
+		c.next(1)
+	case core.ScopeRelaxed:
+		// Fig. 6c: issue at commit, through all cache levels.
+		if c.fencePending[in.Scope] > 0 {
+			c.park(in)
+			return
+		}
+		e := c.buildPIMReq(in)
+		c.PIMIssued.Inc()
+		c.pimCreditUse++
+		c.L1.ForwardPIM(e.req)
+		c.next(1)
+	default:
+		// Baselines: fire and forget toward the memory controller.
+		e := c.buildPIMReq(in)
+		c.PIMIssued.Inc()
+		c.pimCreditUse++
+		c.sendDirect(e.req)
+		c.next(1)
+	}
+}
+
+// sbHasScopeStore reports a buffered store to the scope (a scope-model PIM
+// op must not pass it).
+func (c *Core) sbHasScopeStore(scope mem.ScopeID) bool {
+	for i := range c.sb {
+		if c.sb[i].pim == nil && c.sb[i].scope == scope {
+			return true
+		}
+	}
+	return false
+}
+
+// tryLaunchScopePIM sends the next queued scope-model PIM op for scope if
+// its gates cleared.
+func (c *Core) tryLaunchScopePIM(scope mem.ScopeID) {
+	if c.Model != core.Scope {
+		return
+	}
+	q := c.pimQueues[scope]
+	if len(q) == 0 || c.pimUnacked[scope] > 0 || c.sbHasScopeStore(scope) {
+		return
+	}
+	e := q[0]
+	c.pimQueues[scope] = q[1:]
+	if len(c.pimQueues[scope]) == 0 {
+		delete(c.pimQueues, scope)
+	}
+	c.pimUnacked[scope]++
+	c.pimCreditUse++
+	c.sendDirect(e.req)
+}
+
+// sendDirect routes a request over the core's direct link to the LLC.
+func (c *Core) sendDirect(req *mem.Request) {
+	c.Direct.Send(func() { c.LLC.Receive(req) })
+}
+
+// OnPIMAck handles the memory controller's ACK wire (always delivered; the
+// ordering models use it as a gate, the rest as flow-control credit).
+func (c *Core) OnPIMAck(req *mem.Request) {
+	if c.Tracer.Enabled(trace.CatCPU) {
+		c.Tracer.Emit(trace.CatCPU, fmt.Sprintf("core%d", c.ID), "pim-ack scope=%d", req.Scope)
+	}
+	c.pimCreditUse--
+	switch c.Model {
+	case core.Atomic:
+		c.pimUnacked[req.Scope]--
+		c.resume(c.ackToken, 0) // the stalled PIM instruction completes
+	case core.Store:
+		// The FIFO head was this PIM op; retire it and resume the drain.
+		if len(c.sb) > 0 && c.sb[0].pim != nil && c.sb[0].pim.req == req {
+			c.sb = c.sb[1:]
+		}
+		c.drainProgressed()
+		c.kickDrain()
+	case core.Scope:
+		c.pimUnacked[req.Scope]--
+		if c.pimUnacked[req.Scope] == 0 {
+			delete(c.pimUnacked, req.Scope)
+		}
+		c.tryLaunchScopePIM(req.Scope)
+		c.kickDrain() // held same-scope stores may proceed
+		c.wake()
+	default:
+		c.wake()
+	}
+	if c.pimFenceWait && c.totalPIMPending() == 0 {
+		c.pimFenceWait = false
+		c.wake()
+	}
+}
+
+// ---- flushes and fences ----
+
+func (c *Core) execFlush(in Instr) {
+	if len(in.Lines) == 0 {
+		c.next(0)
+		return
+	}
+	remaining := len(in.Lines)
+	tok := c.await()
+	for _, line := range in.Lines {
+		req := c.newReq(mem.ReqFlush, line, c.scopeOf(line.Addr()))
+		req.Done = func() {
+			remaining--
+			if remaining == 0 {
+				c.resume(tok, 0)
+			}
+		}
+		c.sendDirect(req)
+	}
+}
+
+func (c *Core) execFenceFull(in Instr) {
+	if len(c.sb) > 0 || c.outLoads > 0 || c.ackTracked() > 0 {
+		c.park(in)
+		c.kickDrain()
+		return
+	}
+	if c.hbOn() {
+		c.HB.RecordOp(c.ID, core.OpRef{Class: core.OpFenceFull, Scope: mem.NoScope}, "fence")
+	}
+	c.next(1)
+}
+
+// ackTracked counts un-ACKed PIM ops for models whose fences wait on them.
+func (c *Core) ackTracked() int {
+	if !c.Model.RequiresACK() {
+		return 0
+	}
+	n := 0
+	for _, v := range c.pimUnacked {
+		n += v
+	}
+	for _, q := range c.pimQueues {
+		n += len(q)
+	}
+	return n
+}
+
+func (c *Core) execFencePIM(in Instr) {
+	if c.totalPIMPending() > 0 {
+		c.pimFenceWait = true
+		c.park(in)
+		return
+	}
+	if c.hbOn() {
+		c.HB.RecordOp(c.ID, core.OpRef{Class: core.OpFencePIM, Scope: mem.NoScope}, "pimfence")
+	}
+	c.next(1)
+}
+
+func (c *Core) execScopeFence(in Instr) {
+	// Buffered stores precede the fence in program order; drain them so
+	// the fence's scan sees (and flushes) their lines.
+	if len(c.sb) > 0 {
+		c.park(in)
+		c.kickDrain()
+		return
+	}
+	if c.hbOn() {
+		c.HB.RecordOp(c.ID, core.OpRef{Class: core.OpFenceScope, Scope: in.Scope}, in.Label)
+	}
+	// §V-E: the fence scans every cache level on its path.
+	sets, flushed := c.L1.ScanFlushScope(in.Scope)
+	cost := sim.Tick(sets) + 2*sim.Tick(flushed)
+	c.fencePending[in.Scope]++
+	req := c.newReq(mem.ReqScopeFence, mem.LineOf(c.Scopes.ScopeBase(in.Scope)), in.Scope)
+	req.Done = func() {
+		c.fencePending[in.Scope]--
+		if c.fencePending[in.Scope] == 0 {
+			delete(c.fencePending, in.Scope)
+		}
+		c.wake()
+	}
+	c.k.Schedule(cost, func() { c.L1.ForwardPIM(req) })
+	// The fence does not block the core; same-scope operations wait for
+	// its completion (conservative implementation of the path rule).
+	c.next(1)
+}
+
+func (c *Core) hbOn() bool { return c.HB != nil && c.HB.Enabled }
+
+// DebugState summarizes the core for deadlock diagnostics.
+func (c *Core) DebugState() string {
+	state := "running"
+	switch c.state {
+	case stRetry:
+		state = fmt.Sprintf("retry(%v)", c.pending.Kind)
+	case stWaiting:
+		state = "waiting"
+	}
+	return fmt.Sprintf("core%d done=%v state=%s last=%d sb=%d outLoads=%d credits=%d unacked=%v queues=%d draining=%v sbWaiting=%v l1mshr=%d",
+		c.ID, c.done, state, c.lastInstr, len(c.sb), c.outLoads, c.pimCreditUse, c.pimUnacked, len(c.pimQueues), c.draining, c.sbWaiting, c.L1.MSHRLen())
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

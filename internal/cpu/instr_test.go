@@ -1,0 +1,75 @@
+package cpu
+
+import "testing"
+
+func TestSliceThread(t *testing.T) {
+	th := &SliceThread{Instrs: []Instr{
+		{Kind: InstrCompute, Cycles: 1},
+		{Kind: InstrFenceFull},
+	}}
+	a, ok := th.Next()
+	if !ok || a.Kind != InstrCompute {
+		t.Fatal("first instr wrong")
+	}
+	b, ok := th.Next()
+	if !ok || b.Kind != InstrFenceFull {
+		t.Fatal("second instr wrong")
+	}
+	if _, ok := th.Next(); ok {
+		t.Fatal("exhausted thread must report done")
+	}
+}
+
+func TestFuncThread(t *testing.T) {
+	n := 0
+	th := FuncThread(func() (Instr, bool) {
+		n++
+		if n > 2 {
+			return Instr{}, false
+		}
+		return Instr{Kind: InstrCompute}, true
+	})
+	count := 0
+	for {
+		if _, ok := th.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestBarrierReleasesAtN(t *testing.T) {
+	b := NewBarrier(3)
+	released := 0
+	b.Arrive(func() { released++ })
+	b.Arrive(func() { released++ })
+	if released != 0 {
+		t.Fatal("barrier released early")
+	}
+	b.Arrive(func() { released++ })
+	if released != 3 {
+		t.Fatalf("released %d, want 3", released)
+	}
+	// Cyclic reuse.
+	b.Arrive(func() { released++ })
+	if b.Waiting() != 1 {
+		t.Fatalf("waiting = %d, want 1", b.Waiting())
+	}
+	b.Arrive(func() { released++ })
+	b.Arrive(func() { released++ })
+	if released != 6 {
+		t.Fatalf("released %d, want 6 after reuse", released)
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero participants")
+		}
+	}()
+	NewBarrier(0)
+}

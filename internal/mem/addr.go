@@ -1,0 +1,31 @@
+// Package mem defines the memory model shared by every component of the
+// bulkpim system: physical addresses, cache-line geometry, PIM scopes
+// (fixed, non-overlapping address ranges that bound a PIM operation, paper
+// §III), memory request types, and a sparse backing store that holds the
+// functional contents of main memory.
+package mem
+
+// Line geometry. The paper's system uses 64-byte blocks at every level
+// (Table II).
+const (
+	LineSize  = 64
+	LineShift = 6
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// LineAddr is an address aligned down to its cache line.
+type LineAddr uint64
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) LineAddr { return LineAddr(a &^ (LineSize - 1)) }
+
+// LineIndex returns the line number (address / 64).
+func (l LineAddr) Index() uint64 { return uint64(l) >> LineShift }
+
+// Addr returns the first byte address of the line.
+func (l LineAddr) Addr() Addr { return Addr(l) }
+
+// WordSize is the granularity of scalar CPU loads/stores (8 bytes).
+const WordSize = 8

@@ -1,0 +1,116 @@
+package mem
+
+import "fmt"
+
+// ReqKind enumerates the memory operation classes that travel through the
+// memory subsystem. PIM operations are "a new class of memory operations
+// alongside standard memory operations" (paper §I).
+type ReqKind uint8
+
+const (
+	// ReqLoad is a read of one cache line (carrying word offsets for the
+	// consuming core).
+	ReqLoad ReqKind = iota
+	// ReqStore is a write of up to one cache line.
+	ReqStore
+	// ReqWriteback carries a dirty line from a cache to memory.
+	ReqWriteback
+	// ReqFlush requests writeback+invalidate of a single line (software
+	// flush instruction, used by the SW-Flush baseline).
+	ReqFlush
+	// ReqPIMOp is a bulk-bitwise PIM operation addressed to a scope.
+	ReqPIMOp
+	// ReqScopeFence is the scope-relaxed model's per-scope fence: it scans
+	// and flushes its scope at every cache level on the way to the LLC
+	// (paper §V-E).
+	ReqScopeFence
+)
+
+func (k ReqKind) String() string {
+	switch k {
+	case ReqLoad:
+		return "load"
+	case ReqStore:
+		return "store"
+	case ReqWriteback:
+		return "writeback"
+	case ReqFlush:
+		return "flush"
+	case ReqPIMOp:
+		return "pimop"
+	case ReqScopeFence:
+		return "scopefence"
+	default:
+		return fmt.Sprintf("reqkind(%d)", uint8(k))
+	}
+}
+
+// PIMCommand is the payload of a ReqPIMOp: which program to run on which
+// scope. The host hardware only understands the scope (the "scope
+// abstraction", paper §III); Program is opaque to it and interpreted by the
+// PIM module.
+type PIMCommand struct {
+	Scope   ScopeID
+	Program *PIMProgram
+}
+
+// PIMProgram describes one bulk-bitwise PIM operation: a sequence of
+// row-parallel micro-operations executed inside the scope's crossbar
+// arrays. MicroOps drives the latency model; Apply, when non-nil, performs
+// the functional update on backing memory (functional mode).
+type PIMProgram struct {
+	// Name labels the op for traces and stats (e.g. "cmp_ge:key").
+	Name string
+	// MicroOps is the number of basic array operations the op expands to;
+	// execution latency = MicroOps * Config.PIMCyclesPerMicroOp.
+	MicroOps int
+	// Apply performs the functional memory update; writer is the
+	// happens-before event ID recorded on every line the op modifies. It
+	// may be nil in timing-only runs.
+	Apply func(m *Backing, writer uint64)
+}
+
+// Request is one memory-subsystem transaction. Requests are created by
+// cores (or by caches, for writebacks) and flow core -> L1 -> LLC -> memory
+// controller; Done is invoked when the component that completes the request
+// has finished (data returned, write ordered, PIM op accepted by the MC...).
+type Request struct {
+	ID    uint64
+	Kind  ReqKind
+	Line  LineAddr
+	Scope ScopeID // NoScope for non-PIM addresses
+	Core  int     // issuing core, for ACK routing and stats
+
+	// PIM carries the command for ReqPIMOp / ReqScopeFence.
+	PIM *PIMCommand
+
+	// Data carries the line contents: store data on the way down,
+	// load fill on the way up, writeback payload. For partial-line stores
+	// (uncacheable word writes) Off/Size select the written bytes.
+	Data []byte
+	// Off and Size describe the accessed bytes within the line (loads and
+	// partial stores). Size 0 means the full line.
+	Off, Size int
+
+	// Excl marks a load miss that needs write permission (GetM).
+	Excl bool
+
+	// Uncacheable requests bypass all caches (Fig. 3 baseline).
+	Uncacheable bool
+
+	// PIMEnabled marks requests whose page belongs to a PIM-enabled scope;
+	// caches use it to maintain the SBV (paper §IV-B).
+	PIMEnabled bool
+
+	// Done is called exactly once when the request completes. completedAt
+	// guards double completion in race-prone retry paths.
+	Done func()
+
+	// Writer is the happens-before event id of the store/PIM op that
+	// produced the observed data (loads only, functional mode).
+	Writer uint64
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("req{%d %s line=%#x scope=%d core=%d}", r.ID, r.Kind, uint64(r.Line), r.Scope, r.Core)
+}

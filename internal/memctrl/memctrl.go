@@ -1,0 +1,281 @@
+// Package memctrl models the host memory controller of §V-A: a bounded
+// request queue that may reorder operations for performance "but does not
+// violate data dependencies between operations" — same-line accesses
+// execute in arrival order, operations to a scope never pass an
+// earlier-arrived PIM op to that scope, and a PIM op waits for every
+// earlier-arrived same-scope operation. This per-scope ordering is what
+// makes a PIM op "safe" once it reaches the controller, and it is where
+// the ACK of the atomic/store/scope models is generated (Fig. 6).
+package memctrl
+
+import (
+	"bulkpim/internal/mem"
+	"bulkpim/internal/pim"
+	"bulkpim/internal/sim"
+	"bulkpim/internal/stats"
+	"bulkpim/internal/trace"
+)
+
+// Controller is the memory controller plus its DRAM timing model.
+type Controller struct {
+	k *sim.Kernel
+
+	// QueueSize bounds the admission queue; Enqueue fails when full.
+	QueueSize int
+	// DRAMLatency is the access latency of one line (CPU cycles).
+	DRAMLatency sim.Tick
+	// Banks and BankBusy model bank-level parallelism: a bank serves one
+	// access per BankBusy cycles.
+	Banks    int
+	BankBusy sim.Tick
+
+	// PIMs are the attached PIM memory modules; scopes are distributed
+	// round-robin across them ("different PIM modules ... connect to the
+	// same host", §II-A). The paper's configuration has one.
+	PIMs    []*pim.Module
+	Backing *mem.Backing
+
+	// SendACK, when set, is invoked as soon as a PIM op is accepted into
+	// the queue — the point at which its order is guaranteed (§V-A) — so
+	// the host can release gated operations (Fig. 6a step 3 / 6b step 4).
+	SendACK func(req *mem.Request)
+	// OnSpace callbacks fire when a queue slot frees (LLC egress retries).
+	OnSpace func()
+
+	seq     uint64
+	entries []*entry
+	// bankFree[i] is the time bank i next accepts an access.
+	bankFree []sim.Tick
+
+	// scheduling guards against re-entrant scheduler runs (completion
+	// callbacks can call back into the controller).
+	scheduling bool
+	rerun      bool
+
+	// outstanding per-scope PIM ops: sequence numbers from acceptance
+	// until PIM-module completion.
+	pimBySeq map[mem.ScopeID][]uint64
+
+	// Tracer, when enabled for CatMC, logs admissions and completions.
+	Tracer *trace.Tracer
+
+	// Stats.
+	QueueLenOnArrival stats.Mean
+	Accepted          stats.Counter
+	Rejected          stats.Counter
+	LoadsServed       stats.Counter
+	WritesServed      stats.Counter
+	PIMForwarded      stats.Counter
+}
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota
+	stIssued
+)
+
+type entry struct {
+	req   *mem.Request
+	seq   uint64
+	state entryState
+}
+
+// New builds a controller over the given PIM module and backing memory.
+func New(k *sim.Kernel, module *pim.Module, backing *mem.Backing) *Controller {
+	c := &Controller{
+		k:           k,
+		QueueSize:   32,
+		DRAMLatency: 220,
+		Banks:       8,
+		BankBusy:    40,
+		Backing:     backing,
+		pimBySeq:    make(map[mem.ScopeID][]uint64),
+	}
+	c.bankFree = make([]sim.Tick, c.Banks)
+	c.AddPIMModule(module)
+	return c
+}
+
+// AddPIMModule attaches another PIM module; scope s routes to module
+// s mod N.
+func (c *Controller) AddPIMModule(m *pim.Module) {
+	m.OnComplete = c.pimCompleted
+	m.OnSpace = func() { c.schedule() }
+	c.PIMs = append(c.PIMs, m)
+}
+
+// moduleFor returns the module owning a scope.
+func (c *Controller) moduleFor(s mem.ScopeID) *pim.Module {
+	return c.PIMs[int(uint64(s)%uint64(len(c.PIMs)))]
+}
+
+// QueueLen returns the number of queued (unfinished) entries.
+func (c *Controller) QueueLen() int { return len(c.entries) }
+
+// Enqueue admits a request, or reports false when the queue is full. The
+// caller (LLC egress) must retry after OnSpace.
+func (c *Controller) Enqueue(req *mem.Request) bool {
+	if len(c.entries) >= c.QueueSize {
+		c.Rejected.Inc()
+		return false
+	}
+	c.QueueLenOnArrival.Observe(float64(len(c.entries)))
+	c.Accepted.Inc()
+	if c.Tracer.Enabled(trace.CatMC) {
+		c.Tracer.Emit(trace.CatMC, "mc", "accept %s qlen=%d", req, len(c.entries))
+	}
+	c.seq++
+	e := &entry{req: req, seq: c.seq}
+	c.entries = append(c.entries, e)
+	if req.Kind == mem.ReqPIMOp {
+		c.pimBySeq[req.Scope] = append(c.pimBySeq[req.Scope], e.seq)
+		if c.SendACK != nil {
+			c.SendACK(req)
+		}
+	}
+	c.schedule()
+	return true
+}
+
+// earlierConflict reports whether a queued, unfinished operation that e
+// must wait for exists.
+func (c *Controller) earlierConflict(e *entry) bool {
+	if e.req.Kind == mem.ReqPIMOp {
+		// A PIM op waits for every earlier same-scope operation, of any
+		// kind, still in the queue.
+		for _, o := range c.entries {
+			if o.seq < e.seq && o.req.Scope == e.req.Scope {
+				return true
+			}
+		}
+		return false
+	}
+	// Loads/stores/writebacks wait for (a) earlier same-scope PIM ops not
+	// yet completed by the PIM module, (b) earlier same-line accesses.
+	if e.req.Scope != mem.NoScope {
+		for _, s := range c.pimBySeq[e.req.Scope] {
+			if s < e.seq {
+				return true
+			}
+		}
+	}
+	for _, o := range c.entries {
+		if o.seq < e.seq && o.req.Line == e.req.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule issues every runnable entry.
+func (c *Controller) schedule() {
+	if c.scheduling {
+		c.rerun = true
+		return
+	}
+	c.scheduling = true
+	defer func() {
+		c.scheduling = false
+		if c.rerun {
+			c.rerun = false
+			c.schedule()
+		}
+	}()
+	now := c.k.Now()
+	freed := false
+	snapshot := make([]*entry, len(c.entries))
+	copy(snapshot, c.entries)
+	for _, e := range snapshot {
+		if e.state != stWaiting {
+			continue
+		}
+		if c.earlierConflict(e) {
+			continue
+		}
+		switch e.req.Kind {
+		case mem.ReqPIMOp:
+			// The owning module serializes per scope internally.
+			if c.moduleFor(e.req.Scope).TryEnqueue(e.req) {
+				c.PIMForwarded.Inc()
+				e.state = stIssued
+				c.remove(e)
+				freed = true
+			}
+		default:
+			bank := int(e.req.Line.Index()) % c.Banks
+			start := now
+			if c.bankFree[bank] > start {
+				continue // bank busy; retry when something completes
+			}
+			c.bankFree[bank] = start + c.BankBusy
+			e.state = stIssued
+			ee := e
+			c.k.Schedule(c.DRAMLatency, func() { c.finishDRAM(ee) })
+			// Re-arm the bank after its busy window.
+			c.k.Schedule(c.BankBusy, func() { c.schedule() })
+		}
+	}
+	if freed && c.OnSpace != nil {
+		c.OnSpace()
+	}
+}
+
+func (c *Controller) remove(e *entry) {
+	for i, o := range c.entries {
+		if o == e {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Controller) finishDRAM(e *entry) {
+	req := e.req
+	switch req.Kind {
+	case mem.ReqLoad:
+		c.LoadsServed.Inc()
+		if req.Data == nil {
+			req.Data = make([]byte, mem.LineSize)
+		}
+		c.Backing.ReadLine(req.Line, req.Data)
+		req.Writer = c.Backing.WriterOf(req.Line)
+	case mem.ReqStore, mem.ReqWriteback:
+		c.WritesServed.Inc()
+		if req.Data != nil {
+			off, size := req.Off, req.Size
+			if size == 0 {
+				off, size = 0, mem.LineSize
+			}
+			c.Backing.Write(req.Line.Addr()+mem.Addr(off), req.Data[:size])
+			c.Backing.SetWriter(req.Line, req.Writer)
+		}
+	default:
+		// Flushes and fences do not reach DRAM.
+	}
+	c.remove(e)
+	done := req.Done
+	if done != nil {
+		done()
+	}
+	c.schedule()
+	if c.OnSpace != nil {
+		c.OnSpace()
+	}
+}
+
+// pimCompleted clears the per-scope dependence when the PIM module finishes
+// executing an op.
+func (c *Controller) pimCompleted(req *mem.Request) {
+	seqs := c.pimBySeq[req.Scope]
+	if len(seqs) > 0 {
+		c.pimBySeq[req.Scope] = seqs[1:]
+		if len(c.pimBySeq[req.Scope]) == 0 {
+			delete(c.pimBySeq, req.Scope)
+		}
+	}
+	if req.Done != nil {
+		req.Done()
+	}
+	c.schedule()
+}

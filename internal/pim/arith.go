@@ -1,0 +1,125 @@
+package pim
+
+// Bit-serial arithmetic on fields, the "complex operations" of §II-A:
+// composed from the basic column ops, consuming scratch columns for
+// intermediate values and taking one micro-op sequence per bit — the
+// reason complex PIM ops are long and why fine-grained ISAs issue several
+// PIM ops per computation (§IV-A).
+
+// AddFields computes, for every row in parallel, dst = a + b where a and b
+// are width-bit big-endian fields at columns aBase/bBase and dst is a
+// width-bit field at dstBase (carry out discarded). carryCol and tmpCol
+// are scratch columns. Returns the micro-op count charged by the timing
+// model.
+//
+// The ripple adder walks from LSB (last column) to MSB: sum = a^b^c,
+// carry' = majority(a,b,c), five column ops per bit.
+func (img *ArrayImage) AddFields(aBase, bBase, dstBase, width, carryCol, tmpCol int) int {
+	micro := 1
+	img.ColSet(carryCol, false)
+	for bit := width - 1; bit >= 0; bit-- {
+		a := aBase + bit
+		b := bBase + bit
+		d := dstBase + bit
+		// tmp = a XOR b
+		img.ColOp(OpXOR, tmpCol, a, b)
+		// sum = tmp XOR carry
+		img.ColOp(OpXOR, d, tmpCol, carryCol)
+		// carry = (a AND b) OR (tmp AND carry): compute in place without
+		// clobbering inputs — use d as no storage (d already written), so
+		// fold via boolean identity on a fresh pass over rows.
+		for r := 0; r < img.g.Rows; r++ {
+			av, bv, cv := img.Bit(r, a), img.Bit(r, b), img.Bit(r, carryCol)
+			img.SetBit(r, carryCol, (av && bv) || ((av != bv) && cv))
+		}
+		micro += 5 // xor, xor, and, and, or
+	}
+	return micro
+}
+
+// AddFieldsMicroOps returns the cost AddFields charges.
+func AddFieldsMicroOps(width int) int { return 1 + 5*width }
+
+// AddConst computes dst = a + k for every row (constant broadcast by the
+// periphery), using the same scratch columns.
+func (img *ArrayImage) AddConst(aBase, dstBase, width int, k uint64, carryCol int) int {
+	micro := 1
+	img.ColSet(carryCol, false)
+	for bit := width - 1; bit >= 0; bit-- {
+		a := aBase + bit
+		d := dstBase + bit
+		kbit := k&(1<<uint(width-1-bit)) != 0
+		for r := 0; r < img.g.Rows; r++ {
+			av, cv := img.Bit(r, a), img.Bit(r, carryCol)
+			bv := kbit
+			img.SetBit(r, d, (av != bv) != cv)
+			img.SetBit(r, carryCol, (av && bv) || ((av != bv) && cv))
+		}
+		// With the constant known, each bit step specializes to ~3 ops.
+		micro += 3
+	}
+	return micro
+}
+
+// MulFields computes, for every row in parallel, dst = a * b (mod
+// 2^width) by shift-and-add: for each set bit of b, add the shifted a
+// into the accumulator. Bit-serial multiplication is the paper's example
+// of a long complex operation (§II-A: ADD, MUL built from basic ops).
+// scratch needs four columns: carry, tmp, and a two-column gate pair.
+func (img *ArrayImage) MulFields(aBase, bBase, dstBase, width, carryCol, tmpCol, gateCol, addCol int) int {
+	micro := 0
+	// Clear the accumulator.
+	for bit := 0; bit < width; bit++ {
+		img.ColSet(dstBase+bit, false)
+	}
+	micro += width
+	for shift := 0; shift < width; shift++ {
+		bCol := bBase + width - 1 - shift // bit `shift` of b (LSB first)
+		// gate = a AND b_bit, per product bit; then dst += gate << shift.
+		// The shifted addend's bit i comes from a's bit (i + shift) —
+		// positions shifted out are zero.
+		img.ColSet(carryCol, false)
+		micro++
+		for bit := width - 1; bit >= 0; bit-- {
+			srcBit := bit + shift // big-endian index of a's contributing bit
+			d := dstBase + bit
+			for r := 0; r < img.g.Rows; r++ {
+				var av bool
+				if srcBit < width {
+					av = img.Bit(r, aBase+srcBit)
+				}
+				gv := av && img.Bit(r, bCol)
+				dv := img.Bit(r, d)
+				cv := img.Bit(r, carryCol)
+				img.SetBit(r, d, (dv != gv) != cv)
+				img.SetBit(r, carryCol, (dv && gv) || ((dv != gv) && cv))
+			}
+			micro += 6 // gate AND + full-adder ops
+		}
+	}
+	_ = tmpCol
+	_ = gateCol
+	_ = addCol
+	return micro
+}
+
+// MulFieldsMicroOps returns the cost MulFields charges.
+func MulFieldsMicroOps(width int) int { return width + width*(1+6*width) }
+
+// PopCountColumn counts the set bits of a column over rows [0, n) — the
+// reduction the control logic runs for COUNT aggregates. The timing model
+// charges a log-depth reduction tree.
+func (img *ArrayImage) PopCountColumn(col, n int) (count int, microOps int) {
+	for r := 0; r < n; r++ {
+		if img.Bit(r, col) {
+			count++
+		}
+	}
+	// Reduction tree: ~2 micro-ops per level over log2(n) levels of
+	// row-pair additions, each level touching n/2 shrinking rows.
+	levels := 0
+	for v := n; v > 1; v >>= 1 {
+		levels++
+	}
+	return count, 2 * levels * 8
+}

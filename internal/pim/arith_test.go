@@ -1,0 +1,129 @@
+package pim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulkpim/internal/mem"
+)
+
+// Property: the bit-serial ripple adder equals integer addition modulo
+// 2^width for every operand pair.
+func TestAddFieldsMatchesIntegers(t *testing.T) {
+	g := testGeom()
+	prop := func(as, bs [8]uint16) bool {
+		b := mem.NewBacking()
+		img := LoadArray(b, 0, g, 0)
+		const width = 16
+		for r := 0; r < 8; r++ {
+			img.SetFieldBE(r, 0, width, uint64(as[r]))
+			img.SetFieldBE(r, width, width, uint64(bs[r]))
+		}
+		micro := img.AddFields(0, width, 2*width, width, 100, 101)
+		if micro != AddFieldsMicroOps(width) {
+			return false
+		}
+		for r := 0; r < 8; r++ {
+			want := uint64(as[r]) + uint64(bs[r])
+			want &= (1 << width) - 1
+			if img.FieldBE(r, 2*width, width) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddConst equals integer addition with a broadcast constant.
+func TestAddConstMatchesIntegers(t *testing.T) {
+	g := testGeom()
+	prop := func(as [8]uint16, k uint16) bool {
+		b := mem.NewBacking()
+		img := LoadArray(b, 0, g, 0)
+		const width = 16
+		for r := 0; r < 8; r++ {
+			img.SetFieldBE(r, 0, width, uint64(as[r]))
+		}
+		img.AddConst(0, width, width, uint64(k), 100)
+		for r := 0; r < 8; r++ {
+			want := (uint64(as[r]) + uint64(k)) & ((1 << width) - 1)
+			if img.FieldBE(r, width, width) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the bit-serial shift-and-add multiplier equals integer
+// multiplication modulo 2^width.
+func TestMulFieldsMatchesIntegers(t *testing.T) {
+	g := testGeom()
+	prop := func(as, bs [8]uint8) bool {
+		b := mem.NewBacking()
+		img := LoadArray(b, 0, g, 0)
+		const width = 8
+		for r := 0; r < 8; r++ {
+			img.SetFieldBE(r, 0, width, uint64(as[r]))
+			img.SetFieldBE(r, width, width, uint64(bs[r]))
+		}
+		micro := img.MulFields(0, width, 2*width, width, 100, 101, 102, 103)
+		if micro != MulFieldsMicroOps(width) {
+			return false
+		}
+		for r := 0; r < 8; r++ {
+			want := (uint64(as[r]) * uint64(bs[r])) & ((1 << width) - 1)
+			if img.FieldBE(r, 2*width, width) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulCostDominatesAdd(t *testing.T) {
+	// MUL is quadratic in width, ADD linear: the §II-A claim that complex
+	// ops occupy the array for long periods.
+	if MulFieldsMicroOps(32) <= 10*AddFieldsMicroOps(32) {
+		t.Fatal("multiply cost implausibly low")
+	}
+}
+
+func TestPopCountColumn(t *testing.T) {
+	g := testGeom()
+	b := mem.NewBacking()
+	img := LoadArray(b, 0, g, 0)
+	for r := 0; r < 8; r++ {
+		img.SetBit(r, 5, r%3 == 0)
+	}
+	count, micro := img.PopCountColumn(5, 8)
+	if count != 3 {
+		t.Fatalf("popcount = %d, want 3", count)
+	}
+	if micro <= 0 {
+		t.Fatal("no cost charged")
+	}
+}
+
+// Addition carry chain: all-ones plus one wraps to zero.
+func TestAddFieldsCarryChain(t *testing.T) {
+	g := testGeom()
+	b := mem.NewBacking()
+	img := LoadArray(b, 0, g, 0)
+	const width = 12
+	img.SetFieldBE(0, 0, width, (1<<width)-1)
+	img.SetFieldBE(0, width, width, 1)
+	img.AddFields(0, width, 2*width, width, 100, 101)
+	if got := img.FieldBE(0, 2*width, width); got != 0 {
+		t.Fatalf("all-ones + 1 = %#x, want 0 (wrap)", got)
+	}
+}

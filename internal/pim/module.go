@@ -1,0 +1,155 @@
+package pim
+
+import (
+	"bulkpim/internal/mem"
+	"bulkpim/internal/sim"
+	"bulkpim/internal/stats"
+	"bulkpim/internal/trace"
+)
+
+// Module is the timed model of the PIM memory card. PIM ops forwarded by
+// the memory controller enter a bounded buffer; the module starts the
+// oldest buffered op of every idle scope, so different scopes execute fully
+// in parallel while ops to one scope serialize in arrival order. The
+// bounded buffer is the source of the back-pressure the paper studies
+// (Fig. 10a, Fig. 11a).
+type Module struct {
+	k *sim.Kernel
+
+	// BufferSize bounds the op buffer; <= 0 means unbounded (Fig. 11a).
+	BufferSize int
+	// CyclesPerMicroOp converts a program's micro-op count to CPU cycles.
+	CyclesPerMicroOp sim.Tick
+	// FixedOpLatency is a per-op floor (decode, array setup).
+	FixedOpLatency sim.Tick
+	// ZeroLatency forces zero execution time (Fig. 11b).
+	ZeroLatency bool
+	// Functional executes programs on Backing; otherwise only timing.
+	Functional bool
+	Backing    *mem.Backing
+
+	// OnComplete fires when an op finishes executing (the memory
+	// controller clears its per-scope dependences with it).
+	OnComplete func(req *mem.Request)
+	// OnSpace fires when buffer space frees.
+	OnSpace func()
+
+	// Tracer, when enabled for CatPIM, logs op start and completion.
+	Tracer *trace.Tracer
+
+	buffer    []*mem.Request
+	executing map[mem.ScopeID]*mem.Request
+
+	// Stats (names match the figures they feed).
+	BufLenOnArrival   stats.Mean // Fig. 10a
+	UniqueScopesOnArr stats.Mean // Fig. 10b
+	ExecCycles        stats.Mean
+	OpsExecuted       stats.Counter
+	PeakBuffer        int
+}
+
+// NewModule builds a module bound to kernel k.
+func NewModule(k *sim.Kernel, backing *mem.Backing) *Module {
+	return &Module{
+		k:                k,
+		Backing:          backing,
+		BufferSize:       128,
+		CyclesPerMicroOp: 360, // ~100ns per array micro-op at 3.6GHz
+		FixedOpLatency:   720,
+		executing:        make(map[mem.ScopeID]*mem.Request),
+	}
+}
+
+// ScopeBusy reports whether scope s is executing an op right now (the
+// memory array is occupied, §III).
+func (m *Module) ScopeBusy(s mem.ScopeID) bool {
+	_, busy := m.executing[s]
+	return busy
+}
+
+// BufferLen returns the number of buffered (not yet started) ops.
+func (m *Module) BufferLen() int { return len(m.buffer) }
+
+// InFlight returns buffered plus executing ops.
+func (m *Module) InFlight() int { return len(m.buffer) + len(m.executing) }
+
+// uniqueScopes counts distinct scopes in the buffer.
+func (m *Module) uniqueScopes() int {
+	seen := make(map[mem.ScopeID]struct{}, len(m.buffer))
+	for _, r := range m.buffer {
+		seen[r.Scope] = struct{}{}
+	}
+	return len(seen)
+}
+
+// TryEnqueue accepts a PIM op into the buffer, or reports false when the
+// buffer is full. Arrival statistics are sampled before insertion, matching
+// the paper's "on PIM op arrival" measurements.
+func (m *Module) TryEnqueue(req *mem.Request) bool {
+	if m.BufferSize > 0 && len(m.buffer) >= m.BufferSize {
+		return false
+	}
+	m.BufLenOnArrival.Observe(float64(len(m.buffer)))
+	m.UniqueScopesOnArr.Observe(float64(m.uniqueScopes()))
+	m.buffer = append(m.buffer, req)
+	if len(m.buffer) > m.PeakBuffer {
+		m.PeakBuffer = len(m.buffer)
+	}
+	m.tryStart()
+	return true
+}
+
+// tryStart launches the oldest buffered op of every idle scope.
+func (m *Module) tryStart() {
+	freed := false
+	kept := m.buffer[:0]
+	for _, req := range m.buffer {
+		if _, busy := m.executing[req.Scope]; busy {
+			kept = append(kept, req)
+			continue
+		}
+		m.executing[req.Scope] = req
+		freed = true
+		if m.Tracer.Enabled(trace.CatPIM) {
+			name := ""
+			if req.PIM != nil && req.PIM.Program != nil {
+				name = req.PIM.Program.Name
+			}
+			m.Tracer.Emit(trace.CatPIM, "pim", "start scope=%d op=%s buffered=%d", req.Scope, name, len(m.buffer))
+		}
+		lat := m.execLatency(req)
+		req := req
+		m.k.Schedule(lat, func() { m.complete(req) })
+	}
+	m.buffer = kept
+	if freed && m.OnSpace != nil {
+		m.OnSpace()
+	}
+}
+
+func (m *Module) execLatency(req *mem.Request) sim.Tick {
+	if m.ZeroLatency {
+		return 0
+	}
+	micro := 0
+	if req.PIM != nil && req.PIM.Program != nil {
+		micro = req.PIM.Program.MicroOps
+	}
+	return m.FixedOpLatency + sim.Tick(micro)*m.CyclesPerMicroOp
+}
+
+func (m *Module) complete(req *mem.Request) {
+	if m.Functional && req.PIM != nil && req.PIM.Program != nil && req.PIM.Program.Apply != nil {
+		req.PIM.Program.Apply(m.Backing, req.Writer)
+	}
+	if m.Tracer.Enabled(trace.CatPIM) {
+		m.Tracer.Emit(trace.CatPIM, "pim", "complete scope=%d", req.Scope)
+	}
+	m.ExecCycles.Observe(float64(m.execLatency(req)))
+	m.OpsExecuted.Inc()
+	delete(m.executing, req.Scope)
+	if m.OnComplete != nil {
+		m.OnComplete(req)
+	}
+	m.tryStart()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "2")
+	out := tab.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "longer") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the first column width.
+	if !strings.HasPrefix(lines[3], "x     ") {
+		t.Errorf("column not padded: %q", lines[3])
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1234",
+		12.345:  "12.35",
+		0.12345: "0.1235",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("fig", "x", "y", []string{"a", "b"})
+	s.AddPoint(1, map[string]float64{"a": 10, "b": 20})
+	s.AddPoint(2, map[string]float64{"a": 11, "b": 21})
+	if len(s.X) != 2 || s.Y["b"][1] != 21 {
+		t.Fatal("points lost")
+	}
+	out := s.String()
+	for _, w := range []string{"fig", "x", "a", "b", "21"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("series output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := NewSeries("fig", "x", "y", []string{"a", "b,c"})
+	s.AddPoint(1, map[string]float64{"a": 10, "b,c": 20})
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "x,a,\"b,c\"\n1,10,20\n") {
+		t.Fatalf("series csv = %q", csv)
+	}
+	tab := &Table{Header: []string{"h1", "h2"}}
+	tab.AddRow("v\"q", "2")
+	if !strings.Contains(tab.CSV(), `"v""q"`) {
+		t.Fatalf("table csv escaping: %q", tab.CSV())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean(nil); g != 1 {
+		t.Errorf("empty geomean = %v", g)
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{1, 0}); g != 0 {
+		t.Errorf("geomean with zero = %v", g)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]float64{"b": 1, "a": 2, "c": 3})
+	if keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

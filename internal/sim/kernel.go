@@ -1,0 +1,156 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It is the substrate every timed component of the bulkpim system is built
+// on: caches, the on-chip network, the memory controller, the PIM module and
+// the CPU cores all schedule work as events on a single Kernel. The kernel
+// is single-threaded and fully deterministic: two runs with the same seed
+// and the same schedule order produce identical event interleavings.
+package sim
+
+import "fmt"
+
+// Tick is simulated time, measured in CPU clock cycles.
+type Tick uint64
+
+// Event is a scheduled callback. Events with equal time fire in schedule
+// order (FIFO by sequence number), which keeps runs deterministic.
+type event struct {
+	when Tick
+	seq  uint64
+	fn   func()
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; use
+// NewKernel.
+type Kernel struct {
+	now     Tick
+	seq     uint64
+	heap    []event
+	stopped bool
+
+	// EventLimit, when non-zero, aborts Run with ErrEventLimit after that
+	// many events have fired. It is a watchdog against scheduling bugs
+	// (livelock / runaway retry loops).
+	EventLimit uint64
+	fired      uint64
+}
+
+// ErrEventLimit is returned by Run when Kernel.EventLimit is exceeded.
+var ErrEventLimit = fmt.Errorf("sim: event limit exceeded")
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{heap: make([]event, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Tick { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Schedule runs fn after delay cycles (delay 0 means "later this cycle",
+// after already-queued events for the current tick).
+func (k *Kernel) Schedule(delay Tick, fn func()) {
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time when. Scheduling in the past is a
+// programming error and panics.
+func (k *Kernel) ScheduleAt(when Tick, fn func()) {
+	if when < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", when, k.now))
+	}
+	k.seq++
+	k.push(event{when: when, seq: k.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the event
+// limit is hit. It returns the time of the last executed event.
+func (k *Kernel) Run() (Tick, error) {
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		ev := k.pop()
+		k.now = ev.when
+		k.fired++
+		if k.EventLimit != 0 && k.fired > k.EventLimit {
+			return k.now, ErrEventLimit
+		}
+		ev.fn()
+	}
+	return k.now, nil
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock
+// to the deadline (time passes even when the queue drains early).
+func (k *Kernel) RunUntil(deadline Tick) (Tick, error) {
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		if k.heap[0].when > deadline {
+			k.now = deadline
+			return k.now, nil
+		}
+		ev := k.pop()
+		k.now = ev.when
+		k.fired++
+		if k.EventLimit != 0 && k.fired > k.EventLimit {
+			return k.now, ErrEventLimit
+		}
+		ev.fn()
+	}
+	if !k.stopped && k.now < deadline {
+		k.now = deadline
+	}
+	return k.now, nil
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// less orders events by (time, sequence).
+func (a event) less(b event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) push(ev event) {
+	k.heap = append(k.heap, ev)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.heap[i].less(k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) pop() event {
+	top := k.heap[0]
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap = k.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && k.heap[l].less(k.heap[smallest]) {
+			smallest = l
+		}
+		if r < last && k.heap[r].less(k.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		k.heap[i], k.heap[smallest] = k.heap[smallest], k.heap[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelFiresInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Tick
+	k.Schedule(30, func() { got = append(got, 30) })
+	k.Schedule(10, func() { got = append(got, 10) })
+	k.Schedule(20, func() { got = append(got, 20) })
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 30 {
+		t.Fatalf("end = %d, want 30", end)
+	}
+	want := []Tick{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelFIFOWithinTick(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { got = append(got, i) })
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-tick order %v not FIFO", got)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var trace []Tick
+	k.Schedule(1, func() {
+		trace = append(trace, k.Now())
+		k.Schedule(4, func() { trace = append(trace, k.Now()) })
+		k.Schedule(0, func() { trace = append(trace, k.Now()) })
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Tick{1, 1, 5}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestKernelZeroDelayRunsAfterQueuedSameTick(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.Schedule(2, func() { got = append(got, "a") })
+	k.Schedule(2, func() {
+		got = append(got, "b")
+		k.Schedule(0, func() { got = append(got, "d") })
+	})
+	k.Schedule(2, func() { got = append(got, "c") })
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "abcd"
+	var s string
+	for _, g := range got {
+		s += g
+	}
+	if s != want {
+		t.Fatalf("order %q, want %q", s, want)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.ScheduleAt(5, func() {})
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel()
+	k.EventLimit = 100
+	var tick func()
+	tick = func() { k.Schedule(1, tick) }
+	k.Schedule(1, tick)
+	if _, err := k.Run(); err != ErrEventLimit {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := Tick(1); i <= 10; i++ {
+		k.Schedule(i*10, func() { fired++ })
+	}
+	if _, err := k.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if k.Now() != 50 {
+		t.Fatalf("now = %d, want 50", k.Now())
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(1, func() { fired++; k.Stop() })
+	k.Schedule(2, func() { fired++ })
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (stopped)", fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and ties fire in schedule order.
+func TestKernelOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		k := NewKernel()
+		type fire struct {
+			at  Tick
+			seq int
+		}
+		var fires []fire
+		for i, d := range delays {
+			i, d := i, d
+			k.Schedule(Tick(d%512), func() { fires = append(fires, fire{k.Now(), i}) })
+		}
+		if _, err := k.Run(); err != nil {
+			return false
+		}
+		seen := make(map[Tick][]int)
+		var last Tick
+		for _, f := range fires {
+			if f.at < last {
+				return false
+			}
+			last = f.at
+			seen[f.at] = append(seen[f.at], f.seq)
+		}
+		for _, seqs := range seen {
+			for i := 1; i < len(seqs); i++ {
+				if seqs[i] < seqs[i-1] {
+					return false
+				}
+			}
+		}
+		return len(fires) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds produced same first value")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		if v := r.Uint64n(3); v >= 3 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+	}
+}
+
+func TestRandForkIndependent(t *testing.T) {
+	r := NewRand(9)
+	f := r.Fork()
+	if f.Uint64() == r.Uint64() {
+		t.Fatal("fork mirrors parent")
+	}
+}

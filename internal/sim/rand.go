@@ -1,0 +1,55 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (SplitMix64 core with an
+// xorshift* output stage). The simulator cannot depend on math/rand global
+// state: every component that needs randomness owns a seeded Rand so runs
+// are reproducible regardless of package initialization order.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded with seed. A zero seed is remapped so the
+// generator never gets stuck.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{state: seed}
+	if r.state == 0 {
+		r.state = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits (SplitMix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Fork derives an independent generator; the child stream does not overlap
+// with the parent's in practice (distinct SplitMix64 seed).
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64())
+}

@@ -1,0 +1,186 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// counters (event counts), means sampled over a run (PIM buffer occupancy on
+// arrival, LLC scan latency, SBV skip ratio), and small histograms. A
+// Registry groups the stats of one simulated system so a run can be
+// summarized and compared across consistency models.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Mean accumulates samples and reports their arithmetic mean.
+type Mean struct {
+	sum   float64
+	count uint64
+}
+
+// Observe adds one sample.
+func (m *Mean) Observe(v float64) {
+	m.sum += v
+	m.count++
+}
+
+// Value returns the mean (0 for no samples).
+func (m *Mean) Value() float64 {
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
+// Count returns the number of samples.
+func (m *Mean) Count() uint64 { return m.count }
+
+// Sum returns the accumulated total.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Ratio tracks hits out of total lookups (e.g. scope buffer hit rate).
+type Ratio struct {
+	hits, total uint64
+}
+
+// Hit records a successful lookup.
+func (r *Ratio) Hit() { r.hits++; r.total++ }
+
+// Miss records a failed lookup.
+func (r *Ratio) Miss() { r.total++ }
+
+// Value returns hits/total (0 for no lookups).
+func (r *Ratio) Value() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.hits) / float64(r.total)
+}
+
+// Hits returns the hit count.
+func (r *Ratio) Hits() uint64 { return r.hits }
+
+// Total returns the lookup count.
+func (r *Ratio) Total() uint64 { return r.total }
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	Bounds []float64 // ascending upper bounds; implicit +inf final bucket
+	counts []uint64
+	mean   Mean
+}
+
+// NewHistogram builds a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{Bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mean.Observe(v)
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.Bounds)]++
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 { return h.mean.Value() }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.mean.Count() }
+
+// Bucket returns the count of bucket i (len(Bounds)+1 buckets).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// Registry is a named collection of stats for one simulated system.
+type Registry struct {
+	counters map[string]*Counter
+	means    map[string]*Mean
+	ratios   map[string]*Ratio
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		means:    make(map[string]*Mean),
+		ratios:   make(map[string]*Ratio),
+	}
+}
+
+// Counter returns (creating on demand) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Mean returns (creating on demand) the named mean.
+func (r *Registry) Mean(name string) *Mean {
+	m := r.means[name]
+	if m == nil {
+		m = &Mean{}
+		r.means[name] = m
+	}
+	return m
+}
+
+// Ratio returns (creating on demand) the named ratio.
+func (r *Registry) Ratio(name string) *Ratio {
+	x := r.ratios[name]
+	if x == nil {
+		x = &Ratio{}
+		r.ratios[name] = x
+	}
+	return x
+}
+
+// Snapshot returns all values as a flat map (counters as float64).
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(r.counters)+len(r.means)+len(r.ratios))
+	for k, c := range r.counters {
+		out[k] = float64(c.Value())
+	}
+	for k, m := range r.means {
+		out[k] = m.Value()
+	}
+	for k, x := range r.ratios {
+		out[k] = x.Value()
+	}
+	return out
+}
+
+// String renders the registry sorted by name, for debugging and reports.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-40s %12.4f\n", k, snap[k])
+	}
+	return b.String()
+}

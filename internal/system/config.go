@@ -1,0 +1,132 @@
+// Package system assembles the full simulated machine of Table II: cores,
+// private L1s, a shared inclusive LLC with the scope buffer and SBV, the
+// reordering on-chip network, the memory controller, and the bulk-bitwise
+// PIM module — wired for one of the seven run modes (three baselines, four
+// consistency models).
+package system
+
+import (
+	"io"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/mem"
+	"bulkpim/internal/sim"
+)
+
+// Config captures the architecture and system configuration (paper
+// Table II) plus the ablation knobs of §VII.
+type Config struct {
+	Model core.Model
+
+	// Cores and frequency.
+	Cores       int
+	ClockGHz    float64
+	MLP         int
+	StoreBufCap int
+	PIMCredits  int
+
+	// L1: private, 16KB, 64B lines, 4-way.
+	L1Sets, L1Ways int
+	L1HitLatency   sim.Tick
+	// L1 scope buffer (scope-relaxed only): 16 sets, 1 way.
+	L1ScopeBufSets, L1ScopeBufWays int
+
+	// LLC: shared, 2MB, 64B lines, 16-way (8MB for Fig. 12).
+	LLCSets, LLCWays int
+	LLCHitLatency    sim.Tick
+	ScanPerSet       sim.Tick
+	ScanPerLine      sim.Tick
+	// LLC scope buffer: 64 sets, 4-way.
+	LLCScopeBufSets, LLCScopeBufWays int
+
+	// NoC.
+	CoreLLCLatency sim.Tick
+	CoreLLCJitter  sim.Tick
+	LLCMCLatency   sim.Tick
+
+	// Memory controller / DRAM.
+	MCQueue     int
+	DRAMLatency sim.Tick
+	Banks       int
+	BankBusy    sim.Tick
+
+	// PIM module (spec as in [25]).
+	// PIMModules attaches N modules, scopes distributed round-robin
+	// (extension; the paper evaluates 1).
+	PIMModules          int
+	PIMBufferSize       int // 0 = unbounded (Fig. 11a)
+	PIMCyclesPerMicroOp sim.Tick
+	PIMFixedLatency     sim.Tick
+	PIMZeroLatency      bool // Fig. 11b
+
+	// PIM memory: scope geometry.
+	ScopeCount int
+	ScopeSize  uint64
+	PIMBase    mem.Addr
+
+	// Ablations: run without the scope buffer (every PIM op scans) or
+	// without the SBV (scans check every set) to quantify §IV's hardware.
+	NoScopeBuffer bool
+	NoSBV         bool
+
+	// Functional executes PIM programs and verifies data; TrackHB records
+	// the happens-before relation (litmus-scale runs only).
+	Functional bool
+	TrackHB    bool
+
+	// TraceWriter + TraceCategories enable debug tracing ("cpu,cache,mc,
+	// pim,noc" or "all"); see internal/trace.
+	TraceWriter     io.Writer
+	TraceCategories string
+
+	Seed uint64
+}
+
+// Default returns the paper's Table II configuration: 6 x86 OoO cores at
+// 3.6GHz, 16KB/4-way L1s, 2MB/16-way shared LLC, MESI, 32GB DDR4-2400
+// main memory, one PIMDB-style PIM module with 2MB huge-page scopes.
+func Default() Config {
+	return Config{
+		Model:       core.Atomic,
+		Cores:       6,
+		ClockGHz:    3.6,
+		MLP:         8,
+		StoreBufCap: 32,
+		PIMCredits:  48,
+
+		L1Sets: 64, L1Ways: 4, // 16KB
+		L1HitLatency:   3,
+		L1ScopeBufSets: 16, L1ScopeBufWays: 1,
+
+		LLCSets: 2048, LLCWays: 16, // 2MB
+		LLCHitLatency:   18,
+		ScanPerSet:      1,
+		ScanPerLine:     2,
+		LLCScopeBufSets: 64, LLCScopeBufWays: 4,
+
+		CoreLLCLatency: 8,
+		CoreLLCJitter:  4,
+		LLCMCLatency:   6,
+
+		MCQueue:     32,
+		DRAMLatency: 220, // ~60ns at 3.6GHz (DDR4-2400 class)
+		Banks:       8,
+		BankBusy:    40,
+
+		PIMModules:          1,
+		PIMBufferSize:       128,
+		PIMCyclesPerMicroOp: 360, // ~100ns per array micro-op (memristive)
+		PIMFixedLatency:     720,
+
+		ScopeCount: 64,
+		ScopeSize:  mem.DefaultScopeSize,
+		PIMBase:    mem.DefaultPIMBase,
+
+		Seed: 42,
+	}
+}
+
+// Seconds converts cycles to wall-clock seconds at the configured clock.
+func (c Config) Seconds(ticks sim.Tick) float64 {
+	return float64(ticks) / (c.ClockGHz * 1e9)
+}

@@ -1,0 +1,249 @@
+package system
+
+// Core behaviour tests that need a wired machine: TSO semantics, store
+// buffer mechanics, flush instructions, fences, uncacheable accesses, and
+// the per-model PIM gates.
+
+import (
+	"testing"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/cpu"
+	"bulkpim/internal/mem"
+	"bulkpim/internal/sim"
+)
+
+// Store-to-load forwarding: a load right after a store to the same word
+// returns the store's data before it drains.
+func TestTSOStoreToLoadForwarding(t *testing.T) {
+	s := New(smallCfg(core.Atomic))
+	addr := mem.Addr(0x2000)
+	var got byte
+	var loadDone sim.Tick
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrStore, Addr: addr, Data: []byte{0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49}},
+		{Kind: cpu.InstrLoad, Addr: addr, OnData: func(_ mem.LineAddr, d []byte) {
+			got = d[0]
+			loadDone = s.K.Now()
+		}},
+	}}
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x42 {
+		t.Fatalf("forwarded %#x, want 0x42", got)
+	}
+	// Forwarding must not wait for a memory round trip (~250+ cycles).
+	if loadDone > 50 {
+		t.Fatalf("load done at %d: not forwarded from the store buffer", loadDone)
+	}
+}
+
+// TSO store-load bypassing: a load to a DIFFERENT line completes while an
+// earlier store is still draining (its line missing in cache).
+func TestTSOLoadBypassesPendingStore(t *testing.T) {
+	s := New(smallCfg(core.Atomic))
+	var storeVisible, loadDone sim.Tick
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrStore, Addr: 0x2000, Data: []byte{1}},
+		{Kind: cpu.InstrLoad, Addr: 0x8000, OnData: func(_ mem.LineAddr, _ []byte) { loadDone = s.K.Now() }},
+		{Kind: cpu.InstrFenceFull},
+	}}
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	_ = storeVisible
+	if loadDone == 0 {
+		t.Fatal("load never completed")
+	}
+}
+
+// The store buffer stalls the core when full, and drains in order.
+func TestStoreBufferCapacityStall(t *testing.T) {
+	cfg := smallCfg(core.Atomic)
+	cfg.StoreBufCap = 2
+	s := New(cfg)
+	var instrs []cpu.Instr
+	for i := 0; i < 10; i++ {
+		instrs = append(instrs, cpu.Instr{
+			Kind: cpu.InstrStore, Addr: mem.Addr(0x2000 + i*mem.LineSize), Data: []byte{byte(i)}})
+	}
+	instrs = append(instrs, cpu.Instr{Kind: cpu.InstrFenceFull})
+	if _, err := s.Run([]cpu.Thread{&cpu.SliceThread{Instrs: instrs}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		line := mem.LineOf(mem.Addr(0x2000 + i*mem.LineSize))
+		data, _, ok := s.L1s[0].TryLoad(line)
+		if !ok || data[0] != byte(i) {
+			t.Fatalf("store %d lost", i)
+		}
+	}
+}
+
+// A full fence publishes all buffered stores before the next instruction.
+func TestFenceDrainsStores(t *testing.T) {
+	s := New(smallCfg(core.Atomic))
+	addr := mem.Addr(0x3000)
+	var after sim.Tick
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrStore, Addr: addr, Data: []byte{7}},
+		{Kind: cpu.InstrFenceFull},
+		{Kind: cpu.InstrCompute, Cycles: 1, OnData: nil},
+	}}
+	th.Instrs[2].OnData = nil
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	_ = after
+	// After the run the store must be globally visible (L1 owns it dirty,
+	// but backing is written on eviction; check through a second system
+	// read via the cache path instead).
+	data, _, ok := s.L1s[0].TryLoad(mem.LineOf(addr))
+	if !ok || data[int(addr)%mem.LineSize] != 7 {
+		t.Fatal("store not in L1 after fence")
+	}
+}
+
+// SW-Flush's flush instruction writes dirty data back to memory and
+// invalidates every level.
+func TestFlushInstr(t *testing.T) {
+	s := New(smallCfg(core.SWFlush))
+	addr := mem.Addr(0x2040)
+	line := mem.LineOf(addr)
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrStore, Addr: addr, Data: []byte{0x99}},
+		{Kind: cpu.InstrFenceFull},
+		{Kind: cpu.InstrFlush, Lines: []mem.LineAddr{line}},
+	}}
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Backing.ByteAt(addr) != 0x99 {
+		t.Fatal("flush did not write back")
+	}
+	if s.L1s[0].HasLine(line) || s.LLC.HasLine(line) {
+		t.Fatal("flush left the line cached")
+	}
+}
+
+// Uncacheable stores reach memory without allocating cache lines.
+func TestUncacheableStore(t *testing.T) {
+	s := New(smallCfg(core.Uncacheable))
+	addr := s.Scopes.ScopeBase(1) + 0x100
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrStore, Addr: addr, Data: []byte{0xEE}},
+		{Kind: cpu.InstrFenceFull},
+	}}
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Backing.ByteAt(addr) != 0xEE {
+		t.Fatal("uncacheable store lost")
+	}
+	if s.L1s[0].HasLine(mem.LineOf(addr)) || s.LLC.HasLine(mem.LineOf(addr)) {
+		t.Fatal("uncacheable store allocated a line")
+	}
+}
+
+// PIM flow-control credits bound the op flood and never deadlock.
+func TestPIMCreditThrottle(t *testing.T) {
+	cfg := smallCfg(core.Naive)
+	cfg.PIMCredits = 2
+	s := New(cfg)
+	var instrs []cpu.Instr
+	for i := 0; i < 30; i++ {
+		instrs = append(instrs, cpu.Instr{Kind: cpu.InstrPIMOp, Scope: mem.ScopeID(i % 4),
+			Prog: &mem.PIMProgram{MicroOps: 3}})
+	}
+	res, err := s.Run([]cpu.Thread{&cpu.SliceThread{Instrs: instrs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats["pim.ops_executed"] != 30 {
+		t.Fatalf("executed %v, want 30", res.Stats["pim.ops_executed"])
+	}
+	if res.Stats["cpu.stalls"] == 0 {
+		t.Fatal("credit throttle never engaged")
+	}
+}
+
+// Scope model: a PIM op must not pass an earlier buffered store to its
+// own scope (the entry point holds it until the store drains).
+func TestScopeModelPIMWaitsForSameScopeStore(t *testing.T) {
+	s := New(smallCfg(core.Scope))
+	scope := mem.ScopeID(1)
+	addr := s.Scopes.ScopeBase(scope) + 64
+	var seen byte = 0xFF
+	prog := &mem.PIMProgram{Name: "read", MicroOps: 4,
+		Apply: func(b *mem.Backing, w uint64) { seen = b.ByteAt(addr) }}
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrStore, Addr: addr, Data: []byte{0x31}},
+		{Kind: cpu.InstrPIMOp, Scope: scope, Prog: prog},
+		{Kind: cpu.InstrFenceFull},
+	}}
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 0x31 {
+		t.Fatalf("PIM op saw %#x; the same-scope store must be visible first", seen)
+	}
+}
+
+// Scope-relaxed: a PIM op may pass an earlier same-scope store when no
+// fence orders them (the paper's allowed reordering).
+func TestScopeRelaxedPIMMayPassStore(t *testing.T) {
+	s := New(smallCfg(core.ScopeRelaxed))
+	scope := mem.ScopeID(1)
+	addr := s.Scopes.ScopeBase(scope) + 64
+	var seen byte = 0xFF
+	prog := &mem.PIMProgram{Name: "read", MicroOps: 4,
+		Apply: func(b *mem.Backing, w uint64) { seen = b.ByteAt(addr) }}
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrStore, Addr: addr, Data: []byte{0x31}},
+		{Kind: cpu.InstrPIMOp, Scope: scope, Prog: prog},
+		{Kind: cpu.InstrFenceFull},
+		{Kind: cpu.InstrScopeFence, Scope: scope},
+	}}
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	// The store misses in L1 and takes a ~250-cycle fill; the PIM op fires
+	// at commit. The op must see the PRE-store memory: the reorder the
+	// model explicitly allows.
+	if seen == 0x31 {
+		t.Log("note: PIM op saw the store; allowed but unexpected with these latencies")
+	}
+}
+
+// Determinism across every model with a mixed workload.
+func TestDeterminismAllModels(t *testing.T) {
+	for _, m := range core.AllVariants() {
+		run := func() sim.Tick {
+			s := New(smallCfg(m))
+			var instrs []cpu.Instr
+			for i := 0; i < 20; i++ {
+				scope := mem.ScopeID(i % 4)
+				instrs = append(instrs,
+					cpu.Instr{Kind: cpu.InstrPIMOp, Scope: scope, Prog: &mem.PIMProgram{MicroOps: 5}},
+					cpu.Instr{Kind: cpu.InstrStore, Addr: s.Scopes.ScopeBase(scope) + mem.Addr(i*64), Data: []byte{byte(i)}},
+					cpu.Instr{Kind: cpu.InstrLoad, Addr: s.Scopes.ScopeBase(scope) + mem.Addr(i*64)},
+				)
+			}
+			if m.NeedsScopeFence() {
+				for sc := 0; sc < 4; sc++ {
+					instrs = append(instrs, cpu.Instr{Kind: cpu.InstrScopeFence, Scope: mem.ScopeID(sc)})
+				}
+			}
+			instrs = append(instrs, cpu.Instr{Kind: cpu.InstrFenceFull})
+			res, err := s.Run([]cpu.Thread{&cpu.SliceThread{Instrs: instrs}})
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			return res.Cycles
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("%v nondeterministic: %d vs %d", m, a, b)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/cpu"
+	"bulkpim/internal/mem"
+)
+
+// Tracing captures the life of a PIM op across cpu -> cache -> mc -> pim.
+func TestTraceCapturesPIMOpLifecycle(t *testing.T) {
+	cfg := smallCfg(core.Atomic)
+	var sb strings.Builder
+	cfg.TraceWriter = &sb
+	cfg.TraceCategories = "all"
+	s := New(cfg)
+	th := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrPIMOp, Scope: 1, Prog: &mem.PIMProgram{Name: "traced-op", MicroOps: 4}, Label: "op"},
+		{Kind: cpu.InstrLoad, Addr: s.Scopes.ScopeBase(1) + 64},
+	}}
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"issue", "pimop", "accept", "start scope=1", "complete scope=1", "pim-ack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if s.Tracer.Count() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	if len(s.Tracer.Recent()) == 0 {
+		t.Fatal("ring empty")
+	}
+}
+
+// Tracing disabled must leave the tracer nil and cost nothing.
+func TestTraceDisabledByDefault(t *testing.T) {
+	s := New(smallCfg(core.Atomic))
+	if s.Tracer != nil {
+		t.Fatal("tracer attached without configuration")
+	}
+}

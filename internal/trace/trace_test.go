@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bulkpim/internal/sim"
+)
+
+func TestParseCategories(t *testing.T) {
+	mask, err := ParseCategories("cpu,pim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask&(1<<CatCPU) == 0 || mask&(1<<CatPIM) == 0 || mask&(1<<CatCache) != 0 {
+		t.Fatalf("mask = %b", mask)
+	}
+	all, err := ParseCategories("all")
+	if err != nil || all&(1<<CatNoC) == 0 || all&(1<<CatMC) == 0 {
+		t.Fatal("all mask wrong")
+	}
+	if _, err := ParseCategories("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+	empty, err := ParseCategories("  ")
+	if err != nil || empty != 0 {
+		t.Fatal("empty categories should disable")
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(CatCPU) {
+		t.Fatal("nil tracer enabled")
+	}
+	if tr.Count() != 0 || tr.Recent() != nil {
+		t.Fatal("nil tracer has state")
+	}
+}
+
+func TestEmitAndDump(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	mask, _ := ParseCategories("cpu")
+	tr := New(k.Now, &sb, mask, 8)
+	tr.Emit(CatCPU, "core0", "hello %d", 42)
+	tr.Emit(CatCache, "llc", "filtered out")
+	if tr.Count() != 1 {
+		t.Fatalf("count = %d, want 1 (cache filtered)", tr.Count())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "hello 42") || !strings.Contains(out, "core0") {
+		t.Fatalf("writer output %q", out)
+	}
+	if strings.Contains(out, "filtered") {
+		t.Fatal("disabled category leaked")
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	k := sim.NewKernel()
+	mask, _ := ParseCategories("all")
+	tr := New(k.Now, nil, mask, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(CatCPU, "c", "msg%d", i)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring len = %d, want 4", len(recent))
+	}
+	if !strings.Contains(recent[0].Msg, "msg6") || !strings.Contains(recent[3].Msg, "msg9") {
+		t.Fatalf("ring order wrong: %v", recent)
+	}
+	var sb strings.Builder
+	tr.Dump(&sb)
+	if !strings.Contains(sb.String(), "msg9") {
+		t.Fatal("dump missing entries")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for _, c := range []Category{CatCPU, CatCache, CatMC, CatPIM, CatNoC} {
+		if c.String() == "?" {
+			t.Fatalf("category %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package litmus reproduces the paper's §I / Fig. 1 scenario as an
+// executable litmus test: a thread writes A and B, makes them visible to
+// the PIM memory, and issues a PIM op that rewrites both; an adversarial
+// agent (standing in for "another thread or a prefetcher") re-fetches A
+// into the cache inside the window between the flushes and the PIM op.
+// A checker thread then polls B until it observes the PIM-written value
+// and finally reads A.
+//
+// Under the SW-Flush baseline the checker can observe new-B followed by
+// old-A — a stale cache hit that closes a happens-before cycle (the
+// "cyclic ordering without a well-defined happen-before relation"). Under
+// the four proposed models the scan-and-flush is atomic with the PIM op,
+// so the outcome is impossible at every adversary timing.
+package litmus
+
+import (
+	"fmt"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/cpu"
+	"bulkpim/internal/mem"
+	"bulkpim/internal/sim"
+	"bulkpim/internal/system"
+)
+
+// Outcome of one Fig. 1 run.
+type Outcome struct {
+	Model          core.Model
+	AdversaryDelay sim.Tick
+	// Completed: the checker eventually observed the PIM-written B.
+	Completed bool
+	// StaleRead: the checker observed new B and then old A — the Fig. 1
+	// violation.
+	StaleRead bool
+	// Cycle is the happens-before cycle found in the execution, if any.
+	Cycle *core.Cycle
+	// ValueA/ValueB are the checker's final observations.
+	ValueA, ValueB byte
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("model=%s delay=%d completed=%v stale=%v cycle=%v",
+		o.Model, o.AdversaryDelay, o.Completed, o.StaleRead, o.Cycle != nil)
+}
+
+const (
+	initVal  = 0
+	storeVal = 1 // A0 / B0
+	pimVal   = 2 // A1 / B1
+)
+
+// RunFig1 executes the scenario under model with the adversary's load of A
+// issued after adversaryDelay cycles.
+func RunFig1(model core.Model, adversaryDelay sim.Tick) (Outcome, error) {
+	cfg := system.Default()
+	cfg.Model = model
+	cfg.Cores = 3
+	cfg.ScopeCount = 2
+	cfg.Functional = true
+	cfg.TrackHB = true
+	cfg.LLCWays = 4 // keep conflict-eviction sets small
+	s := system.New(cfg)
+
+	scope := mem.ScopeID(0)
+	base := s.Scopes.ScopeBase(scope)
+	addrA := base + 0x1000
+	addrB := base + 0x2000
+	lineA, lineB := mem.LineOf(addrA), mem.LineOf(addrB)
+
+	hb := s.HB
+	prog := &mem.PIMProgram{
+		Name:     "write_A1_B1",
+		MicroOps: 64,
+		Apply: func(bk *mem.Backing, w uint64) {
+			bk.SetByte(addrA, pimVal)
+			bk.SetWriter(lineA, w)
+			bk.SetByte(addrB, pimVal)
+			bk.SetWriter(lineB, w)
+			hb.RecordWrite(w, lineA)
+			hb.RecordWrite(w, lineB)
+		},
+	}
+
+	// Writer thread: Fig. 1's code.
+	var wInstrs []cpu.Instr
+	wInstrs = append(wInstrs,
+		cpu.Instr{Kind: cpu.InstrStore, Addr: addrA, Data: []byte{storeVal}, Label: "W(A)=A0"},
+		cpu.Instr{Kind: cpu.InstrFenceFull},
+		cpu.Instr{Kind: cpu.InstrStore, Addr: addrB, Data: []byte{storeVal}, Label: "W(B)=B0"},
+		cpu.Instr{Kind: cpu.InstrFenceFull},
+	)
+	if model == core.SWFlush {
+		wInstrs = append(wInstrs,
+			cpu.Instr{Kind: cpu.InstrFlush, Lines: []mem.LineAddr{lineA, lineB}},
+			cpu.Instr{Kind: cpu.InstrFenceFull},
+		)
+	}
+	if model.NeedsScopeFence() {
+		wInstrs = append(wInstrs, cpu.Instr{Kind: cpu.InstrScopeFence, Scope: scope})
+	}
+	wInstrs = append(wInstrs, cpu.Instr{Kind: cpu.InstrPIMOp, Scope: scope, Prog: prog, Label: "PIMop"})
+	writer := &cpu.SliceThread{Instrs: wInstrs}
+
+	// Adversary: a timed prefetch of A.
+	adversary := &cpu.SliceThread{Instrs: []cpu.Instr{
+		{Kind: cpu.InstrCompute, Cycles: adversaryDelay},
+		{Kind: cpu.InstrLoad, Addr: addrA, Label: "prefetch(A)"},
+	}}
+
+	out := Outcome{Model: model, AdversaryDelay: adversaryDelay}
+	checker := newChecker(s, scope, addrA, addrB, &out)
+
+	if _, err := s.Run([]cpu.Thread{writer, adversary, checker}); err != nil {
+		return out, err
+	}
+	out.Cycle = hb.FindCycle()
+	return out, nil
+}
+
+// newChecker builds the polling thread: read B until it returns the PIM
+// value (evicting B between polls so each read refetches), then read A.
+func newChecker(s *system.System, scope mem.ScopeID, addrA, addrB mem.Addr, out *Outcome) cpu.Thread {
+	lineB := mem.LineOf(addrB)
+	offB := int(addrB - lineB.Addr())
+	offA := int(addrA - mem.LineOf(addrA).Addr())
+
+	// Conflict lines: same LLC set as B, outside the PIM region. The LLC
+	// set stride is LLCSets lines; multiples also share the (smaller,
+	// power-of-two) L1 set.
+	stride := uint64(s.Cfg.LLCSets) * mem.LineSize
+	setOff := uint64(lineB) % stride
+	var evict []cpu.BurstRange
+	for k := 0; k < s.Cfg.LLCWays+1; k++ {
+		evict = append(evict, cpu.BurstRange{
+			Start: mem.Addr(uint64(k)*stride + setOff), Bytes: 8})
+	}
+
+	const maxPolls = 400
+	state := 0 // 0: poll B, 1: evict, 2: read A, 3: done
+	polls := 0
+	var sawB byte
+	return cpu.FuncThread(func() (cpu.Instr, bool) {
+		switch state {
+		case 0:
+			state = 1
+			return cpu.Instr{Kind: cpu.InstrLoad, Addr: addrB, Label: "R(B)",
+				OnData: func(_ mem.LineAddr, d []byte) {
+					sawB = d[offB]
+					if sawB == pimVal {
+						state = 2
+					}
+				}}, true
+		case 1:
+			polls++
+			if polls > maxPolls {
+				return cpu.Instr{}, false // give up: Completed stays false
+			}
+			state = 0
+			return cpu.Instr{Kind: cpu.InstrLoadBurst, Burst: evict}, true
+		case 2:
+			state = 3
+			out.Completed = true
+			out.ValueB = sawB
+			return cpu.Instr{Kind: cpu.InstrLoad, Addr: addrA, Label: "R(A)",
+				OnData: func(_ mem.LineAddr, d []byte) {
+					out.ValueA = d[offA]
+					if out.ValueA != pimVal {
+						out.StaleRead = true
+					}
+				}}, true
+		default:
+			return cpu.Instr{}, false
+		}
+	})
+}
+
+// SweepFig1 runs the scenario across adversary timings and returns every
+// outcome. A model is vulnerable if ANY timing produces a stale read or a
+// happens-before cycle.
+func SweepFig1(model core.Model, delays []sim.Tick) ([]Outcome, error) {
+	var outs []Outcome
+	for _, d := range delays {
+		o, err := RunFig1(model, d)
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// DefaultSweep covers the flush-to-PIM-execution window.
+func DefaultSweep() []sim.Tick {
+	var out []sim.Tick
+	for d := sim.Tick(0); d <= 4000; d += 200 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Vulnerable summarizes a sweep: any stale read or cycle.
+func Vulnerable(outs []Outcome) (stale, cycle bool) {
+	for _, o := range outs {
+		if o.StaleRead {
+			stale = true
+		}
+		if o.Cycle != nil {
+			cycle = true
+		}
+	}
+	return
+}

@@ -1,0 +1,75 @@
+package litmus
+
+import (
+	"testing"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/sim"
+)
+
+// The SW-Flush baseline must exhibit the Fig. 1 violation for some
+// adversary timing: a stale read of A after observing the PIM-written B,
+// and a cycle in the happens-before relation.
+func TestFig1SWFlushVulnerable(t *testing.T) {
+	outs, err := SweepFig1(core.SWFlush, DefaultSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for _, o := range outs {
+		if o.Completed {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("checker never completed under swflush")
+	}
+	stale, cycle := Vulnerable(outs)
+	if !stale {
+		t.Error("swflush: no adversary timing produced a stale read; Fig. 1 not reproduced")
+	}
+	if !cycle {
+		t.Error("swflush: no happens-before cycle detected")
+	}
+}
+
+// The four proposed models must be invulnerable at EVERY adversary timing.
+func TestFig1ProposedModelsSafe(t *testing.T) {
+	for _, model := range core.ProposedModels() {
+		outs, err := SweepFig1(model, DefaultSweep())
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		for _, o := range outs {
+			if !o.Completed {
+				t.Errorf("%v delay=%d: checker never observed the PIM value", model, o.AdversaryDelay)
+				continue
+			}
+			if o.StaleRead {
+				t.Errorf("%v delay=%d: STALE READ (A=%d after B=%d)", model, o.AdversaryDelay, o.ValueA, o.ValueB)
+			}
+			if o.Cycle != nil {
+				t.Errorf("%v delay=%d: happens-before cycle: %v", model, o.AdversaryDelay, o.Cycle)
+			}
+		}
+	}
+}
+
+// The naive baseline breaks differently: the writer's stores are never
+// flushed, so the PIM op computes on stale memory and/or the checker polls
+// the writer's dirty copy forever.
+func TestFig1NaiveBroken(t *testing.T) {
+	outs, err := SweepFig1(core.Naive, []sim.Tick{0, 400, 800, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := false
+	for _, o := range outs {
+		if !o.Completed || o.StaleRead || o.Cycle != nil {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Error("naive baseline behaved correctly in Fig. 1; expected breakage")
+	}
+}

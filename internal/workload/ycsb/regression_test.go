@@ -1,0 +1,26 @@
+package ycsb
+
+import (
+	"testing"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/system"
+)
+
+// Regression: a stale scheduled burst poll used to spuriously resume a
+// core waiting at a barrier, desynchronizing the 8-thread run of Fig. 13
+// into a deadlock. Token-guarded resumes fixed it.
+func TestEightThreadBarrierRegression(t *testing.T) {
+	p := DefaultParams(500000)
+	p.Operations = 16
+	p.Threads = 8
+	p.Seed = 1
+	w := New(p)
+	cfg := system.Default()
+	cfg.Model = core.Naive
+	cfg.Cores = 16
+	_, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package ycsb
+
+import (
+	"testing"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/cpu"
+	"bulkpim/internal/mem"
+	"bulkpim/internal/system"
+)
+
+// drainThread pulls every instruction out of a thread without simulating.
+func drainThread(t *testing.T, th cpu.Thread, limit int) []cpu.Instr {
+	t.Helper()
+	var out []cpu.Instr
+	for i := 0; i < limit; i++ {
+		in, ok := th.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in)
+	}
+	t.Fatalf("thread did not terminate within %d instructions", limit)
+	return nil
+}
+
+func TestThreadStructurePerOp(t *testing.T) {
+	p := DefaultParams(100000) // 4 scopes
+	p.Operations = 5
+	p.ScanFraction = 1.0
+	p.Threads = 2
+	w := New(p)
+	cfg := system.Default()
+	cfg.Model = core.Atomic
+	cfg = w.SystemConfig(cfg)
+	s := system.New(cfg)
+	threads := w.Threads(s)
+	if len(threads) != 2 {
+		t.Fatal("thread count")
+	}
+	instrs := drainThread(t, threads[0], 100000)
+	var pims, bursts, barriers int
+	for _, in := range instrs {
+		switch in.Kind {
+		case cpu.InstrPIMOp:
+			pims++
+		case cpu.InstrLoadBurst:
+			bursts++
+		case cpu.InstrBarrier:
+			barriers++
+		}
+	}
+	// Thread 0 owns 2 of 4 scopes: per scan 2 scopes x 4 PIM ops.
+	if pims != 5*2*4 {
+		t.Errorf("pim instrs = %d, want %d", pims, 5*2*4)
+	}
+	if barriers != 5 {
+		t.Errorf("barriers = %d, want 5 (one per op)", barriers)
+	}
+	// At least one result burst per scope per scan.
+	if bursts < 5*2 {
+		t.Errorf("bursts = %d, want >= %d", bursts, 5*2)
+	}
+}
+
+func TestSWFlushThreadEmitsFlushes(t *testing.T) {
+	p := DefaultParams(100000)
+	p.Operations = 4
+	p.ScanFraction = 1.0
+	p.Threads = 1
+	w := New(p)
+	cfg := system.Default()
+	cfg.Model = core.SWFlush
+	cfg = w.SystemConfig(cfg)
+	s := system.New(cfg)
+	th := w.Threads(s)[0]
+	instrs := drainThread(t, th, 200000)
+	flushes := 0
+	flushedLines := 0
+	for _, in := range instrs {
+		if in.Kind == cpu.InstrFlush {
+			flushes++
+			flushedLines += len(in.Lines)
+		}
+	}
+	// First scan has nothing to flush; later scans flush the previously
+	// read result lines.
+	if flushes == 0 || flushedLines == 0 {
+		t.Fatal("swflush thread never flushed")
+	}
+	// Each scope's result region is 63 lines; 4 scopes, scans 2..4 flush.
+	if flushedLines < 3*4*63 {
+		t.Errorf("flushed %d lines, want >= %d", flushedLines, 3*4*63)
+	}
+}
+
+func TestScopeRelaxedThreadEmitsScopeFences(t *testing.T) {
+	p := DefaultParams(100000)
+	p.Operations = 3
+	p.ScanFraction = 1.0
+	p.Threads = 1
+	w := New(p)
+	cfg := system.Default()
+	cfg.Model = core.ScopeRelaxed
+	cfg = w.SystemConfig(cfg)
+	s := system.New(cfg)
+	instrs := drainThread(t, w.Threads(s)[0], 200000)
+	fences := 0
+	for _, in := range instrs {
+		if in.Kind == cpu.InstrScopeFence {
+			fences++
+		}
+	}
+	if fences != 3*4 {
+		t.Errorf("scope fences = %d, want one per scope per scan (%d)", fences, 3*4)
+	}
+}
+
+func TestInsertTargetsFreeSlot(t *testing.T) {
+	p := DefaultParams(100000)
+	p.Operations = 40
+	p.ScanFraction = 0.0 // all inserts
+	p.Threads = 2
+	w := New(p)
+	cfg := system.Default()
+	cfg.Model = core.Atomic
+	cfg = w.SystemConfig(cfg)
+	s := system.New(cfg)
+	for _, th := range w.Threads(s) {
+		for _, in := range drainThread(t, th, 100000) {
+			if in.Kind != cpu.InstrStore {
+				continue
+			}
+			pos := w.Position(w.Layout.DecodeKey(in.Data) - 1)
+			if pos < p.Records {
+				t.Fatalf("insert overwrote initial record at %d", pos)
+			}
+			if mem.LineOf(in.Addr).Addr() != in.Addr {
+				t.Fatal("insert store not line aligned")
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package ycsb implements the paper's YCSB short-range-scan workload
+// (Table III): 95% scans / 5% inserts over a PIMDB-resident key-value
+// table, scan base records zipfian-distributed, scan lengths uniform in
+// [1,100], scopes partitioned evenly across worker threads (§VI-B).
+package ycsb
+
+import (
+	"math"
+	"sync"
+
+	"bulkpim/internal/sim"
+)
+
+// Zipf is the standard YCSB zipfian generator (Gray et al.): item 0 is the
+// most popular, with skew theta (YCSB default 0.99).
+type Zipf struct {
+	items      uint64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	zeta2theta float64
+	eta        float64
+}
+
+// zetaCache memoizes the expensive zeta(n) sums across workload builds
+// (the harness builds the same record counts for every model).
+var zetaCache sync.Map // key: [2]float64{n, theta} -> float64
+
+func zeta(n uint64, theta float64) float64 {
+	key := [2]float64{float64(n), theta}
+	if v, ok := zetaCache.Load(key); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Store(key, sum)
+	return sum
+}
+
+// NewZipf builds a generator over [0, items).
+func NewZipf(items uint64, theta float64) *Zipf {
+	if items == 0 {
+		panic("ycsb: zipf over zero items")
+	}
+	z := &Zipf{items: items, theta: theta}
+	z.zetan = zeta(items, theta)
+	z.zeta2theta = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(items), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+// Next draws the next zipfian value using r.
+func (z *Zipf) Next(r *sim.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.items {
+		v = z.items - 1
+	}
+	return v
+}
