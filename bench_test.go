@@ -14,7 +14,9 @@ import (
 	"bulkpim/internal/sim"
 )
 
-var benchOpts = Options{Scale: ScaleBench}
+// Parallelism is pinned to 1 so benchmark numbers stay comparable
+// across machines and with pre-runner history.
+var benchOpts = Options{Scale: ScaleBench, Parallelism: 1}
 
 // reportLast attaches the final sweep point of each variant as metrics.
 func reportLast(b *testing.B, s *Series, unit string) {

@@ -25,6 +25,7 @@ import (
 	"bulkpim/internal/mem"
 	"bulkpim/internal/pimdb"
 	"bulkpim/internal/report"
+	"bulkpim/internal/runner"
 	"bulkpim/internal/sim"
 	"bulkpim/internal/system"
 	"bulkpim/internal/workload/litmus"
@@ -189,6 +190,37 @@ func LitmusDefaultSweep() []Tick { return litmus.DefaultSweep() }
 func LitmusVulnerable(outs []LitmusOutcome) (stale, cycle bool) {
 	return litmus.Vulnerable(outs)
 }
+
+// ---- parallel job runner ----
+
+// Job is one independent simulation point for RunJobs; JobResult pairs
+// its outcome with the submission index; JobOptions sets parallelism
+// and an optional progress callback; SimJob is the declarative point
+// spec (base Config + mutator + Execute); JobSummary is a batch's
+// wall-clock / sim-cycle accounting. Every experiment sweep in this
+// package runs on the same machinery.
+type (
+	Job        = runner.Job[Result]
+	JobResult  = runner.JobResult[Result]
+	JobOptions = runner.Options[Result]
+	SimJob     = runner.SimJob
+	JobSummary = runner.Summary
+)
+
+// RunJobs executes independent simulation jobs on a worker pool
+// (JobOptions.Parallelism wide; 0 = GOMAXPROCS) and returns results
+// re-ordered by submission index, so output is identical to running
+// the jobs sequentially. A failed job is captured in its JobResult
+// without aborting siblings. Anything jobs share — e.g. one generated
+// workload across model variants — must be read-only; freeze a YCSB
+// workload with its Precompute method before sharing it.
+func RunJobs(jobs []Job, opts JobOptions) []JobResult { return runner.RunJobs(jobs, opts) }
+
+// SimJobs lowers declarative job specs into runnable jobs.
+func SimJobs(specs []SimJob) []Job { return runner.SimJobs(specs) }
+
+// SummarizeJobs folds a batch into its accounting.
+func SummarizeJobs(rs []JobResult) JobSummary { return runner.Summarize(rs) }
 
 // ---- Hardware overhead (paper §VI-A) ----
 

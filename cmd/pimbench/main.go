@@ -4,17 +4,21 @@
 // Usage:
 //
 //	pimbench -exp fig7 -scale quick
-//	pimbench -exp all  -scale medium -v
+//	pimbench -exp all  -scale medium -parallel 8 -v
 //	pimbench -list
 //
 // Scales: quick (minutes), medium (tens of minutes), full (the paper's
-// measurement volume; hours). All scales produce the same figure shapes;
-// see EXPERIMENTS.md.
+// measurement volume; hours sequentially — every grid point is an
+// independent simulation, so -parallel N divides the wall time down to
+// the slowest single point). All scales produce the same figure shapes;
+// see README.md.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,47 +27,79 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
-	scale := flag.String("scale", "quick", "measurement scale: quick | medium | full")
-	verbose := flag.Bool("v", false, "log per-run progress")
-	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
-	list := flag.Bool("list", false, "list experiments and exit")
-	csvDir := flag.String("csvdir", "", "also write figure series as CSV files into this directory")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected (flags, output streams) so
+// tests can drive the binary end-to-end in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
+	scale := fs.String("scale", "quick", "measurement scale: bench | quick | medium | full")
+	verbose := fs.Bool("v", false, "log per-run progress")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	parallel := fs.Int("parallel", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	csvDir := fs.String("csvdir", "", "also write figure series as CSV files into this directory")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range bulkpim.Experiments() {
-			fmt.Println(e)
+			fmt.Fprintln(stdout, e)
 		}
-		return
+		return 0
 	}
 
-	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
+	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed, Parallelism: *parallel}
 	if *verbose {
 		opts.Log = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
 
 	start := time.Now()
-	out, err := bulkpim.RunExperiment(*exp, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
-		os.Exit(1)
+	if err := runExperiments(*exp, opts, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
 	}
-	fmt.Print(out)
 	if *csvDir != "" {
-		if err := writeCSVs(*csvDir, *exp, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: csv: %v\n", err)
-			os.Exit(1)
+		if err := writeCSVs(*csvDir, *exp, opts, stderr); err != nil {
+			fmt.Fprintf(stderr, "pimbench: csv: %v\n", err)
+			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "pimbench: %s at scale %s in %s\n", *exp, *scale, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "pimbench: %s at scale %s (parallel=%d) in %s\n",
+		*exp, *scale, *parallel, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runExperiments executes one experiment — or, for "all", each in turn
+// with a per-experiment wall-time report on stderr.
+func runExperiments(exp string, opts bulkpim.Options, stdout, stderr io.Writer) error {
+	if exp != "all" {
+		out, err := bulkpim.RunExperiment(exp, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, out)
+		return nil
+	}
+	return bulkpim.RunAll(opts, func(name, report string) {
+		fmt.Fprintf(stdout, "==== %s ====\n%s\n", name, report)
+	}, func(name string, d time.Duration) {
+		fmt.Fprintf(stderr, "pimbench: %s in %s\n", name, d.Round(time.Millisecond))
+	})
 }
 
 // writeCSVs re-renders figure series as CSV for external plotting. Only
 // series-shaped experiments have CSV forms.
-func writeCSVs(dir, exp string, opts bulkpim.Options) error {
+func writeCSVs(dir, exp string, opts bulkpim.Options, stderr io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -110,7 +146,7 @@ func writeCSVs(dir, exp string, opts bulkpim.Options) error {
 		}
 		return write("fig13", s)
 	default:
-		fmt.Fprintf(os.Stderr, "pimbench: no CSV form for %s\n", exp)
+		fmt.Fprintf(stderr, "pimbench: no CSV form for %s\n", exp)
 		return nil
 	}
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the binary end-to-end at ScaleBench: a small
+// experiment must run through the job runner and emit a non-empty
+// report on stdout.
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig3", "-scale", "bench", "-parallel", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Fig3") {
+		t.Fatalf("report missing Fig3 header:\n%s", out)
+	}
+	for _, model := range []string{"naive", "uncacheable", "swflush"} {
+		if !strings.Contains(out, model) {
+			t.Fatalf("report missing %s series:\n%s", model, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "fig3 at scale bench") {
+		t.Fatalf("missing wall-time report on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestRunList checks the -list path.
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, e := range []string{"fig1", "fig7", "table2", "all"} {
+		if !strings.Contains(stdout.String(), e) {
+			t.Fatalf("list missing %s:\n%s", e, stdout.String())
+		}
+	}
+}
+
+// TestRunUnknownExperiment must fail with a non-zero exit code.
+func TestRunUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}

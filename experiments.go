@@ -1,11 +1,14 @@
 package bulkpim
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"bulkpim/internal/core"
 	"bulkpim/internal/report"
+	"bulkpim/internal/runner"
 	"bulkpim/internal/workload/tpch"
 	"bulkpim/internal/workload/ycsb"
 )
@@ -24,7 +27,8 @@ const (
 	// ScaleMedium densifies the sweeps (tens of minutes).
 	ScaleMedium Scale = "medium"
 	// ScaleFull is the paper's measurement volume (1000 YCSB ops, 10 runs
-	// per TPC-H query, full sweep densities). Expect hours.
+	// per TPC-H query, full sweep densities). Expect hours sequentially;
+	// use Parallelism to bound it by the slowest single point.
 	ScaleFull Scale = "full"
 )
 
@@ -35,6 +39,11 @@ type Options struct {
 	Log func(format string, args ...interface{})
 	// Seed lets repeated harness runs vary; 0 uses the default.
 	Seed uint64
+	// Parallelism caps concurrent simulation jobs; 0 uses GOMAXPROCS, 1
+	// forces sequential execution. Every sweep's grid points are
+	// independent simulations, so results — figures, tables, CSVs — are
+	// byte-identical at every value.
+	Parallelism int
 }
 
 func (o Options) log(format string, args ...interface{}) {
@@ -48,6 +57,35 @@ func (o Options) seed() uint64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// runnerOpts forwards live per-job progress to the harness log. Under
+// parallelism the completion order (and therefore the log order) varies;
+// results do not.
+func (o Options) runnerOpts() runner.Options[Result] {
+	return runner.Options[Result]{
+		Parallelism: o.Parallelism,
+		OnResult: func(done, total int, r runner.JobResult[Result]) {
+			if r.Err != nil {
+				o.log("[%d/%d] %s FAILED: %v", done, total, r.Key, r.Err)
+				return
+			}
+			o.log("[%d/%d] %s cycles=%d wall=%s", done, total, r.Key,
+				r.Value.Cycles, r.Wall.Round(time.Millisecond))
+		},
+	}
+}
+
+// collectErrs folds per-job failures into one error, each reported
+// against its job key. A nil return means every point succeeded.
+func collectErrs(rs []runner.JobResult[Result]) error {
+	var errs []error
+	for _, r := range rs {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Key, r.Err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // ycsbRecordCounts returns the record-count sweep (x axis of Figs. 3/7/10..12).
@@ -110,28 +148,71 @@ type RunRecord struct {
 
 // YCSBSweep runs the given models across the option's record counts, with
 // modify applied to each system config (nil for the base Table II system).
+// Points run on the job runner at opts.Parallelism. Job keys use the
+// "ycsb" prefix; sweeps with a non-base config should go through
+// YCSBSweepNamed so differently-configured points get distinct keys.
 func YCSBSweep(opts Options, models []Model, modify func(*Config)) ([]RunRecord, error) {
-	var out []RunRecord
+	return ycsbSweep(opts, "ycsb", models, nil, modify)
+}
+
+// YCSBSweepNamed is YCSBSweep with an explicit job-key prefix,
+// distinguishing differently-configured grids (Fig. 11 ablations, the
+// 8MB-LLC sweep) in progress logs, error reports and any future result
+// cache.
+func YCSBSweepNamed(opts Options, prefix string, models []Model, modify func(*Config)) ([]RunRecord, error) {
+	return ycsbSweep(opts, prefix, models, nil, modify)
+}
+
+// ycsbSweep is the shared sweep core: one workload is generated per
+// record count — hoisted out of the model loop and shared read-only by
+// every variant, so all models measure the identical operation sequence
+// without regenerating it per point — then one job per (records, model)
+// grid point is enqueued.
+func ycsbSweep(opts Options, prefix string, models []Model,
+	modifyParams func(*ycsb.Params), modify func(*Config)) ([]RunRecord, error) {
+	type point struct {
+		w       *ycsb.Workload
+		records int
+		model   Model
+	}
+	var points []point
+	var specs []runner.SimJob
 	for _, records := range opts.ycsbRecordCounts() {
 		p := ycsb.DefaultParams(records)
 		p.Operations = opts.ycsbOps()
 		p.Seed = opts.seed()
+		if modifyParams != nil {
+			modifyParams(&p)
+		}
 		w := ycsb.New(p)
+		w.Precompute() // freeze the workload before sharing it across jobs
 		for _, m := range models {
-			cfg := DefaultConfig()
-			cfg.Model = m
-			if modify != nil {
-				modify(&cfg)
-			}
-			res, err := ycsb.Run(w, cfg)
-			if err != nil {
-				return out, fmt.Errorf("ycsb %s records=%d: %w", m, records, err)
-			}
-			opts.log("ycsb records=%d scopes=%d model=%s cycles=%d", records, w.Scopes, m, res.Cycles)
-			out = append(out, RunRecord{Model: m, Records: records, Scopes: w.Scopes, Result: res})
+			pt := point{w: w, records: records, model: m}
+			points = append(points, pt)
+			specs = append(specs, runner.SimJob{
+				Key:  fmt.Sprintf("%s/records=%d/model=%s", prefix, records, m),
+				Base: DefaultConfig(),
+				Mutate: func(cfg *Config) {
+					cfg.Model = pt.model
+					if modify != nil {
+						modify(cfg)
+					}
+				},
+				Execute: func(cfg Config) (Result, error) { return ycsb.Run(pt.w, cfg) },
+			})
 		}
 	}
-	return out, nil
+	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
+	opts.log("%s sweep: %s", prefix, runner.Summarize(results))
+	var out []RunRecord
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		pt := points[i]
+		out = append(out, RunRecord{Model: pt.model, Records: pt.records, Scopes: pt.w.Scopes, Result: r.Value})
+	}
+	return out, collectErrs(results)
 }
 
 // fig3Variants / fig7Variants are the paper's series.
@@ -141,7 +222,10 @@ var (
 )
 
 // normalizeToNaive converts a sweep into per-point ratios against Naive.
-func normalizeToNaive(recs []RunRecord) map[int]map[string]float64 {
+// It fails explicitly when a record count has no Naive baseline — the
+// model list omitted Naive, or its point errored — instead of emitting
+// +Inf ratios.
+func normalizeToNaive(recs []RunRecord) (map[int]map[string]float64, error) {
 	base := map[int]float64{}
 	for _, r := range recs {
 		if r.Model == Naive {
@@ -150,12 +234,16 @@ func normalizeToNaive(recs []RunRecord) map[int]map[string]float64 {
 	}
 	out := map[int]map[string]float64{}
 	for _, r := range recs {
+		b := base[r.Records]
+		if b == 0 {
+			return nil, fmt.Errorf("normalize: no Naive baseline for records=%d (sweep must include a successful Naive point)", r.Records)
+		}
 		if out[r.Records] == nil {
 			out[r.Records] = map[string]float64{}
 		}
-		out[r.Records][r.Model.String()] = float64(r.Result.Cycles) / base[r.Records]
+		out[r.Records][r.Model.String()] = float64(r.Result.Cycles) / b
 	}
-	return out
+	return out, nil
 }
 
 func scopesOf(recs []RunRecord, records int) int {
@@ -175,7 +263,10 @@ func Fig3(opts Options) (*Series, error) {
 		return nil, err
 	}
 	s := report.NewSeries("Fig3", "records", "run time / naive", variantNames(fig3Variants))
-	norm := normalizeToNaive(recs)
+	norm, err := normalizeToNaive(recs)
+	if err != nil {
+		return nil, err
+	}
 	for _, records := range opts.ycsbRecordCounts() {
 		s.AddPoint(float64(records), norm[records])
 	}
@@ -193,7 +284,7 @@ type YCSBFigures struct {
 }
 
 // buildYCSBFigures derives all YCSB series from one sweep, X = scope count.
-func buildYCSBFigures(opts Options, prefix string, recs []RunRecord) *YCSBFigures {
+func buildYCSBFigures(opts Options, prefix string, recs []RunRecord) (*YCSBFigures, error) {
 	names := variantNames(fig7Variants)
 	f := &YCSBFigures{
 		Abs:          report.NewSeries(prefix+"a", "scopes", "run time [s]", names),
@@ -203,7 +294,10 @@ func buildYCSBFigures(opts Options, prefix string, recs []RunRecord) *YCSBFigure
 		ScanLatency:  report.NewSeries(prefix+"-10c", "scopes", "mean LLC scan latency", names),
 		SkipRatio:    report.NewSeries(prefix+"-10d", "scopes", "SBV skip ratio", names),
 	}
-	norm := normalizeToNaive(recs)
+	norm, err := normalizeToNaive(recs)
+	if err != nil {
+		return nil, err
+	}
 	for _, records := range opts.ycsbRecordCounts() {
 		x := float64(scopesOf(recs, records))
 		abs := map[string]float64{}
@@ -229,7 +323,7 @@ func buildYCSBFigures(opts Options, prefix string, recs []RunRecord) *YCSBFigure
 		f.ScanLatency.AddPoint(x, scan)
 		f.SkipRatio.AddPoint(x, skip)
 	}
-	return f
+	return f, nil
 }
 
 // Fig7 reproduces Fig. 7 (run times) and Fig. 10 (system statistics) from
@@ -239,7 +333,7 @@ func Fig7(opts Options) (*YCSBFigures, error) {
 	if err != nil {
 		return nil, err
 	}
-	return buildYCSBFigures(opts, "Fig7", recs), nil
+	return buildYCSBFigures(opts, "Fig7", recs)
 }
 
 // Fig11a: unbounded PIM module buffer. The extra "basic-naive" series is
@@ -254,7 +348,7 @@ func Fig11b(opts Options) (*Series, error) {
 }
 
 func figWithModifiedConfig(opts Options, name string, modify func(*Config)) (*Series, error) {
-	recs, err := YCSBSweep(opts, fig7Variants, modify)
+	recs, err := YCSBSweepNamed(opts, strings.ToLower(name), fig7Variants, modify)
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +358,10 @@ func figWithModifiedConfig(opts Options, name string, modify func(*Config)) (*Se
 	}
 	names := append(variantNames(fig7Variants), "basic-naive")
 	s := report.NewSeries(name, "scopes", "run time / naive", names)
-	norm := normalizeToNaive(recs)
+	norm, err := normalizeToNaive(recs)
+	if err != nil {
+		return nil, err
+	}
 	for _, records := range opts.ycsbRecordCounts() {
 		vals := norm[records]
 		var naiveCycles float64
@@ -286,40 +383,30 @@ func figWithModifiedConfig(opts Options, name string, modify func(*Config)) (*Se
 // Fig12 reproduces the 8MB-LLC experiment: run time plus the scan-latency
 // and SBV statistics (Fig. 12a-c).
 func Fig12(opts Options) (*YCSBFigures, error) {
-	recs, err := YCSBSweep(opts, fig7Variants, func(cfg *Config) {
+	recs, err := YCSBSweepNamed(opts, "fig12", fig7Variants, func(cfg *Config) {
 		cfg.LLCSets = 8192 // 8MB, 16-way, 64B lines
 	})
 	if err != nil {
 		return nil, err
 	}
-	return buildYCSBFigures(opts, "Fig12", recs), nil
+	return buildYCSBFigures(opts, "Fig12", recs)
 }
 
 // Fig13 reproduces the 8-thread / 16-core experiment.
 func Fig13(opts Options) (*Series, error) {
-	var out []RunRecord
-	for _, records := range opts.ycsbRecordCounts() {
-		p := ycsb.DefaultParams(records)
-		p.Operations = opts.ycsbOps()
-		p.Threads = 8
-		p.Seed = opts.seed()
-		w := ycsb.New(p)
-		for _, m := range fig7Variants {
-			cfg := DefaultConfig()
-			cfg.Model = m
-			cfg.Cores = 16
-			res, err := ycsb.Run(w, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s records=%d: %w", m, records, err)
-			}
-			opts.log("fig13 records=%d model=%s cycles=%d", records, m, res.Cycles)
-			out = append(out, RunRecord{Model: m, Records: records, Scopes: w.Scopes, Result: res})
-		}
+	recs, err := ycsbSweep(opts, "fig13", fig7Variants,
+		func(p *ycsb.Params) { p.Threads = 8 },
+		func(cfg *Config) { cfg.Cores = 16 })
+	if err != nil {
+		return nil, err
 	}
 	s := report.NewSeries("Fig13", "scopes", "run time / naive", variantNames(fig7Variants))
-	norm := normalizeToNaive(out)
+	norm, err := normalizeToNaive(recs)
+	if err != nil {
+		return nil, err
+	}
 	for _, records := range opts.ycsbRecordCounts() {
-		s.AddPoint(float64(scopesOf(out, records)), norm[records])
+		s.AddPoint(float64(scopesOf(recs, records)), norm[records])
 	}
 	return s, nil
 }
@@ -331,23 +418,40 @@ type TPCHRun struct {
 	Result Result
 }
 
-// TPCHSweep runs every Table IV query under the given models.
+// TPCHSweep runs every Table IV query under the given models, one job
+// per (query, model) point. Each query's workload is prepared once and
+// shared read-only across its model variants.
 func TPCHSweep(opts Options, models []Model) ([]TPCHRun, error) {
-	var out []TPCHRun
+	type point struct {
+		w     *tpch.Workload
+		query string
+		model Model
+	}
+	var points []point
+	var specs []runner.SimJob
 	for _, q := range tpch.Queries() {
 		w := tpch.NewWorkload(q, 4, opts.tpchScale(), false)
 		for _, m := range models {
-			cfg := DefaultConfig()
-			cfg.Model = m
-			res, err := tpch.Run(w, cfg)
-			if err != nil {
-				return out, fmt.Errorf("tpch %s %s: %w", q.Name, m, err)
-			}
-			opts.log("tpch %s model=%s cycles=%d", q.Name, m, res.Cycles)
-			out = append(out, TPCHRun{Query: q.Name, Model: m, Result: res})
+			pt := point{w: w, query: q.Name, model: m}
+			points = append(points, pt)
+			specs = append(specs, runner.SimJob{
+				Key:     fmt.Sprintf("tpch/%s/model=%s", q.Name, m),
+				Base:    DefaultConfig(),
+				Mutate:  func(cfg *Config) { cfg.Model = pt.model },
+				Execute: func(cfg Config) (Result, error) { return tpch.Run(pt.w, cfg) },
+			})
 		}
 	}
-	return out, nil
+	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
+	opts.log("tpch sweep: %s", runner.Summarize(results))
+	var out []TPCHRun
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		out = append(out, TPCHRun{Query: points[i].query, Model: points[i].model, Result: r.Value})
+	}
+	return out, collectErrs(results)
 }
 
 // Fig8 reproduces Fig. 8: per-query run time normalized to Naive, with the
@@ -375,6 +479,9 @@ func Fig8Fig9(opts Options) (fig8, fig9 *Table, err error) {
 	for _, q := range tpch.Queries() {
 		row := []string{q.Name}
 		naive := byQuery[q.Name][Naive.String()]
+		if naive == 0 {
+			return nil, nil, fmt.Errorf("fig8: no Naive baseline for %s", q.Name)
+		}
 		for _, m := range models[1:] {
 			v := byQuery[q.Name][m.String()] / naive
 			geo[m.String()] = append(geo[m.String()], v)
@@ -407,15 +514,25 @@ func Fig9YCSB(opts Options) (*Table, error) {
 	p.Operations = opts.ycsbOps()
 	p.Seed = opts.seed()
 	w := ycsb.New(p)
-	t := &Table{Title: "Fig9 (YCSB) — scope buffer hit rate", Header: []string{"model", "hit rate"}}
-	for _, m := range ProposedModels() {
-		cfg := DefaultConfig()
-		cfg.Model = m
-		res, err := ycsb.Run(w, cfg)
-		if err != nil {
-			return nil, err
+	w.Precompute()
+	models := ProposedModels()
+	specs := make([]runner.SimJob, len(models))
+	for i, m := range models {
+		m := m
+		specs[i] = runner.SimJob{
+			Key:     fmt.Sprintf("fig9-ycsb/model=%s", m),
+			Base:    DefaultConfig(),
+			Mutate:  func(cfg *Config) { cfg.Model = m },
+			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
 		}
-		t.AddRow(m.String(), report.F(res.Stats["llc.sb_hit_rate"]))
+	}
+	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
+	if err := collectErrs(results); err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Fig9 (YCSB) — scope buffer hit rate", Header: []string{"model", "hit rate"}}
+	for i, r := range results {
+		t.AddRow(models[i].String(), report.F(r.Value.Stats["llc.sb_hit_rate"]))
 	}
 	return t, nil
 }
@@ -425,11 +542,26 @@ func Fig9YCSB(opts Options) (*Table, error) {
 func Fig1Table(opts Options) (*Table, error) {
 	t := &Table{Title: "Fig1 — litmus: stale read / happens-before cycle under adversarial prefetch",
 		Header: []string{"model", "stale read", "hb cycle", "guaranteed correct"}}
-	for _, m := range []Model{Naive, SWFlush, Atomic, Store, Scope, ScopeRelaxed} {
-		outs, err := SweepFig1(m, LitmusDefaultSweep())
-		if err != nil {
-			return nil, err
+	models := []Model{Naive, SWFlush, Atomic, Store, Scope, ScopeRelaxed}
+	jobs := make([]runner.Job[[]LitmusOutcome], len(models))
+	for i, m := range models {
+		m := m
+		jobs[i] = runner.Job[[]LitmusOutcome]{
+			Key: fmt.Sprintf("fig1/model=%s", m),
+			Run: func() ([]LitmusOutcome, error) { return SweepFig1(m, LitmusDefaultSweep()) },
 		}
+	}
+	results := runner.RunJobs(jobs, runner.Options[[]LitmusOutcome]{
+		Parallelism: opts.Parallelism,
+		OnResult: func(done, total int, r runner.JobResult[[]LitmusOutcome]) {
+			opts.log("[%d/%d] %s wall=%s", done, total, r.Key, r.Wall.Round(time.Millisecond))
+		},
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Key, r.Err)
+		}
+		outs := r.Value
 		stale, cycle := LitmusVulnerable(outs)
 		incomplete := false
 		for _, o := range outs {
@@ -445,8 +577,8 @@ func Fig1Table(opts Options) (*Table, error) {
 		if incomplete {
 			staleS += " (stuck reads)"
 		}
-		t.AddRow(m.String(), staleS, fmt.Sprintf("%v", cycle), verdict)
-		opts.log("fig1 %s stale=%v cycle=%v", m, stale, cycle)
+		t.AddRow(models[i].String(), staleS, fmt.Sprintf("%v", cycle), verdict)
+		opts.log("fig1 %s stale=%v cycle=%v", models[i], stale, cycle)
 	}
 	return t, nil
 }
@@ -522,16 +654,24 @@ func AreaTable() *Table {
 	return t
 }
 
-// AblationTable quantifies the coherence hardware of §IV: the scope buffer
-// (avoids repeat scans) and the SBV (skips untouched sets). Without the
-// SBV a scan pays one cycle per LLC set; without the scope buffer every
-// PIM op scans.
-func AblationTable(opts Options) (*Table, error) {
+// lastRecordsWorkload generates the sweep's largest YCSB workload,
+// frozen for read-only sharing across a job batch.
+func lastRecordsWorkload(opts Options) *ycsb.Workload {
 	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
 	p := ycsb.DefaultParams(records)
 	p.Operations = opts.ycsbOps()
 	p.Seed = opts.seed()
 	w := ycsb.New(p)
+	w.Precompute()
+	return w
+}
+
+// AblationTable quantifies the coherence hardware of §IV: the scope buffer
+// (avoids repeat scans) and the SBV (skips untouched sets). Without the
+// SBV a scan pays one cycle per LLC set; without the scope buffer every
+// PIM op scans.
+func AblationTable(opts Options) (*Table, error) {
+	w := lastRecordsWorkload(opts)
 
 	type variant struct {
 		name        string
@@ -543,27 +683,33 @@ func AblationTable(opts Options) (*Table, error) {
 		{"no SBV", false, true},
 		{"neither", true, true},
 	}
+	specs := make([]runner.SimJob, len(variants))
+	for i, v := range variants {
+		v := v
+		specs[i] = runner.SimJob{
+			Key:  "ablation/" + v.name,
+			Base: DefaultConfig(),
+			Mutate: func(cfg *Config) {
+				cfg.Model = Scope
+				cfg.NoScopeBuffer = v.noSB
+				cfg.NoSBV = v.noSBV
+			},
+			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
+		}
+	}
+	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
+	if err := collectErrs(results); err != nil {
+		return nil, err
+	}
 	t := &Table{Title: fmt.Sprintf("Ablation — §IV coherence hardware (YCSB, %d scopes, scope model)", w.Scopes),
 		Header: []string{"configuration", "run time norm", "mean scan latency", "scans", "sb hit rate"}}
-	var base float64
-	for _, v := range variants {
-		cfg := DefaultConfig()
-		cfg.Model = Scope
-		cfg.NoScopeBuffer = v.noSB
-		cfg.NoSBV = v.noSBV
-		res, err := ycsb.Run(w, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
-		}
-		if base == 0 {
-			base = float64(res.Cycles)
-		}
-		opts.log("ablation %s cycles=%d scanlat=%.1f", v.name, res.Cycles, res.Stats["llc.scan_latency_mean"])
-		t.AddRow(v.name,
-			report.F(float64(res.Cycles)/base),
-			report.F(res.Stats["llc.scan_latency_mean"]),
-			report.F(res.Stats["llc.scan_count"]),
-			report.F(res.Stats["llc.sb_hit_rate"]))
+	base := float64(results[0].Value.Cycles)
+	for i, r := range results {
+		t.AddRow(variants[i].name,
+			report.F(float64(r.Value.Cycles)/base),
+			report.F(r.Value.Stats["llc.scan_latency_mean"]),
+			report.F(r.Value.Stats["llc.scan_count"]),
+			report.F(r.Value.Stats["llc.sb_hit_rate"]))
 	}
 	return t, nil
 }
@@ -572,35 +718,36 @@ func AblationTable(opts Options) (*Table, error) {
 // small-sized scope buffer is sufficient to achieve close to the maximum
 // possible hit rate".
 func ScopeBufferSizingTable(opts Options) (*Table, error) {
-	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
-	p := ycsb.DefaultParams(records)
-	p.Operations = opts.ycsbOps()
-	p.Seed = opts.seed()
-	w := ycsb.New(p)
+	w := lastRecordsWorkload(opts)
 
 	geoms := []struct{ sets, ways int }{{1, 1}, {4, 1}, {16, 1}, {64, 1}, {64, 4}}
+	specs := make([]runner.SimJob, len(geoms))
+	for i, g := range geoms {
+		g := g
+		specs[i] = runner.SimJob{
+			Key:  fmt.Sprintf("sbsize/%dx%d", g.sets, g.ways),
+			Base: DefaultConfig(),
+			Mutate: func(cfg *Config) {
+				cfg.Model = Scope
+				cfg.LLCScopeBufSets, cfg.LLCScopeBufWays = g.sets, g.ways
+			},
+			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
+		}
+	}
+	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
+	if err := collectErrs(results); err != nil {
+		return nil, err
+	}
 	t := &Table{Title: fmt.Sprintf("Scope buffer sizing (YCSB, %d scopes, scope model)", w.Scopes),
 		Header: []string{"geometry", "entries", "hit rate", "run time norm"}}
-	var base float64
-	for i := len(geoms) - 1; i >= 0; i-- { // largest first for the baseline
+	// Normalize against the largest geometry (the last point).
+	base := float64(results[len(results)-1].Value.Cycles)
+	for i, r := range results {
 		g := geoms[i]
-		cfg := DefaultConfig()
-		cfg.Model = Scope
-		cfg.LLCScopeBufSets, cfg.LLCScopeBufWays = g.sets, g.ways
-		res, err := ycsb.Run(w, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sizing %dx%d: %w", g.sets, g.ways, err)
-		}
-		if base == 0 {
-			base = float64(res.Cycles)
-		}
-		opts.log("sbsize %dx%d hit=%.3f", g.sets, g.ways, res.Stats["llc.sb_hit_rate"])
-		t.Rows = append([][]string{{
-			fmt.Sprintf("%d sets x %d ways", g.sets, g.ways),
+		t.AddRow(fmt.Sprintf("%d sets x %d ways", g.sets, g.ways),
 			fmt.Sprintf("%d", g.sets*g.ways),
-			report.F(res.Stats["llc.sb_hit_rate"]),
-			report.F(float64(res.Cycles) / base),
-		}}, t.Rows...)
+			report.F(r.Value.Stats["llc.sb_hit_rate"]),
+			report.F(float64(r.Value.Cycles)/base))
 	}
 	return t, nil
 }
@@ -609,30 +756,33 @@ func ScopeBufferSizingTable(opts Options) (*Table, error) {
 // PIM modules ("different PIM modules ... connect to the same host",
 // §II-A). More modules add module-level buffering and arrival bandwidth.
 func MultiModuleTable(opts Options) (*Table, error) {
-	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
-	p := ycsb.DefaultParams(records)
-	p.Operations = opts.ycsbOps()
-	p.Seed = opts.seed()
-	w := ycsb.New(p)
+	w := lastRecordsWorkload(opts)
+	counts := []int{1, 2, 4}
+	specs := make([]runner.SimJob, len(counts))
+	for i, n := range counts {
+		n := n
+		specs[i] = runner.SimJob{
+			Key:  fmt.Sprintf("multimod/n=%d", n),
+			Base: DefaultConfig(),
+			Mutate: func(cfg *Config) {
+				cfg.Model = Scope
+				cfg.PIMModules = n
+			},
+			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
+		}
+	}
+	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
+	if err := collectErrs(results); err != nil {
+		return nil, err
+	}
 	t := &Table{Title: fmt.Sprintf("Extension — multiple PIM modules (YCSB, %d scopes, scope model)", w.Scopes),
 		Header: []string{"modules", "run time norm", "mean buffer len", "peak buffer"}}
-	var base float64
-	for _, n := range []int{1, 2, 4} {
-		cfg := DefaultConfig()
-		cfg.Model = Scope
-		cfg.PIMModules = n
-		res, err := ycsb.Run(w, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("multimod %d: %w", n, err)
-		}
-		if base == 0 {
-			base = float64(res.Cycles)
-		}
-		opts.log("multimod n=%d cycles=%d", n, res.Cycles)
-		t.AddRow(fmt.Sprintf("%d", n),
-			report.F(float64(res.Cycles)/base),
-			report.F(res.Stats["pim.buffer_len_mean"]),
-			report.F(res.Stats["pim.peak_buffer"]))
+	base := float64(results[0].Value.Cycles)
+	for i, r := range results {
+		t.AddRow(fmt.Sprintf("%d", counts[i]),
+			report.F(float64(r.Value.Cycles)/base),
+			report.F(r.Value.Stats["pim.buffer_len_mean"]),
+			report.F(r.Value.Stats["pim.peak_buffer"]))
 	}
 	return t, nil
 }
@@ -642,6 +792,43 @@ func Experiments() []string {
 	return []string{"fig1", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11a",
 		"fig11b", "fig12", "fig13", "table1", "table2", "table3", "table4",
 		"area", "ablation", "sbsize", "multimod", "all"}
+}
+
+// StandaloneExperiments returns Experiments() minus "all" and the
+// entries bundled with another experiment's sweep (fig10 with fig7,
+// fig9 with fig8): the canonical iteration list for an "all" run.
+func StandaloneExperiments() []string {
+	var out []string
+	for _, e := range Experiments() {
+		if e == "all" || e == "fig10" || e == "fig9" {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// RunAll executes every standalone experiment in order, handing each
+// name and printable report to emit. timed, when non-nil, additionally
+// receives each experiment's wall-clock time (it defaults to the
+// options log). It is the single "all" orchestration shared by
+// RunExperiment("all") and cmd/pimbench.
+func RunAll(opts Options, emit func(name, report string), timed func(name string, d time.Duration)) error {
+	if timed == nil {
+		timed = func(name string, d time.Duration) {
+			opts.log("%s finished in %s", name, d.Round(time.Millisecond))
+		}
+	}
+	for _, e := range StandaloneExperiments() {
+		start := time.Now()
+		out, err := RunExperiment(e, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+		timed(e, time.Since(start))
+		emit(e, out)
+	}
+	return nil
 }
 
 // RunExperiment dispatches by name and returns the printable report.
@@ -736,15 +923,10 @@ func RunExperiment(name string, opts Options) (string, error) {
 		}
 		emit(t)
 	case "all":
-		for _, e := range Experiments() {
-			if e == "all" || e == "fig10" || e == "fig9" {
-				continue // bundled with fig7 / fig8
-			}
-			out, err := RunExperiment(e, opts)
-			if err != nil {
-				return b.String(), fmt.Errorf("%s: %w", e, err)
-			}
-			fmt.Fprintf(&b, "==== %s ====\n%s\n", e, out)
+		if err := RunAll(opts, func(name, report string) {
+			fmt.Fprintf(&b, "==== %s ====\n%s\n", name, report)
+		}, nil); err != nil {
+			return b.String(), err
 		}
 	default:
 		return "", fmt.Errorf("unknown experiment %q (have %v)", name, Experiments())

@@ -1,0 +1,3 @@
+module bulkpim
+
+go 1.24

@@ -1,0 +1,186 @@
+// Package runner executes independent simulation points on a worker
+// pool. The paper's evaluation is a large grid of independent runs
+// (model variants x record counts x queries x ablations); each point
+// owns a private single-threaded sim.Kernel, so the grid is
+// embarrassingly parallel. RunJobs preserves the sequential contract:
+// results come back ordered by submission index, so any consumer that
+// folds them into figures or tables produces byte-identical output at
+// every parallelism level.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bulkpim/internal/sim"
+	"bulkpim/internal/system"
+)
+
+// Job is one unit of work. Run builds whatever state the point needs —
+// for simulation jobs, a fresh System — and returns its value. Anything
+// the closure shares with sibling jobs (a generated workload, a query
+// spec) must be read-only while the batch runs.
+type Job[T any] struct {
+	// Key stably identifies the point (e.g. "ycsb/records=100000/
+	// model=scope"); errors are reported against it.
+	Key string
+	Run func() (T, error)
+}
+
+// JobResult pairs a job's outcome with its submission index. A failed
+// or panicking job is captured in Err without disturbing its siblings.
+type JobResult[T any] struct {
+	Index int
+	Key   string
+	Value T
+	Err   error
+	// Wall is the job's own wall-clock time (the batch's elapsed time
+	// is bounded by the slowest chain, not this sum).
+	Wall time.Duration
+}
+
+// Options configures a RunJobs batch.
+type Options[T any] struct {
+	// Parallelism caps concurrent workers; <= 0 means GOMAXPROCS.
+	// Results are identical at every value.
+	Parallelism int
+	// OnResult, when non-nil, is invoked serially as jobs complete (in
+	// completion order, which varies under parallelism). done counts
+	// finished jobs including this one.
+	OnResult func(done, total int, r JobResult[T])
+}
+
+func (o Options[T]) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunJobs executes jobs on a worker pool and returns one JobResult per
+// job, re-ordered by submission index — the same sequence a sequential
+// loop would produce. One failed point does not abort the batch.
+func RunJobs[T any](jobs []Job[T], opts Options[T]) []JobResult[T] {
+	results := make([]JobResult[T], len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opts.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes OnResult
+		done int
+		idx  = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				v, err := runOne(jobs[i])
+				results[i] = JobResult[T]{
+					Index: i, Key: jobs[i].Key, Value: v, Err: err,
+					Wall: time.Since(start),
+				}
+				if opts.OnResult != nil {
+					mu.Lock()
+					done++
+					opts.OnResult(done, len(jobs), results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne invokes a job, converting a panic into a per-job error so a
+// crashing point cannot take the whole sweep down.
+func runOne[T any](j Job[T]) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	if j.Run == nil {
+		return v, fmt.Errorf("nil Run")
+	}
+	return j.Run()
+}
+
+// SimJob is the concrete job shape of the experiment harness: one grid
+// point, described by a stable key, a base machine configuration, an
+// optional Config mutator (model selection, ablation switches), and an
+// Execute that builds a fresh System for the final config and runs the
+// workload the closure shares read-only with its siblings.
+type SimJob struct {
+	Key     string
+	Base    system.Config
+	Mutate  func(*system.Config)
+	Execute func(system.Config) (system.Result, error)
+}
+
+// Job lowers the spec into a runnable job. The Base config is copied
+// per run, so Mutate never leaks across points.
+func (j SimJob) Job() Job[system.Result] {
+	return Job[system.Result]{Key: j.Key, Run: func() (system.Result, error) {
+		cfg := j.Base
+		if j.Mutate != nil {
+			j.Mutate(&cfg)
+		}
+		if j.Execute == nil {
+			return system.Result{}, fmt.Errorf("nil Execute")
+		}
+		return j.Execute(cfg)
+	}}
+}
+
+// SimJobs lowers a batch of specs.
+func SimJobs(specs []SimJob) []Job[system.Result] {
+	jobs := make([]Job[system.Result], len(specs))
+	for i, s := range specs {
+		jobs[i] = s.Job()
+	}
+	return jobs
+}
+
+// Summary is a batch's wall-clock / sim-cycle accounting.
+type Summary struct {
+	Jobs   int
+	Failed int
+	// Wall sums per-job wall time: the compute the batch consumed, not
+	// its elapsed time.
+	Wall time.Duration
+	// Cycles sums simulated cycles over the successful jobs.
+	Cycles sim.Tick
+}
+
+// Summarize folds a batch of simulation results into its accounting.
+func Summarize(rs []JobResult[system.Result]) Summary {
+	s := Summary{Jobs: len(rs)}
+	for _, r := range rs {
+		s.Wall += r.Wall
+		if r.Err != nil {
+			s.Failed++
+			continue
+		}
+		s.Cycles += r.Value.Cycles
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d jobs (%d failed), %d sim cycles, %s total job wall time",
+		s.Jobs, s.Failed, s.Cycles, s.Wall.Round(time.Millisecond))
+}

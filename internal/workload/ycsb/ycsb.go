@@ -192,6 +192,19 @@ func Run(w *Workload, cfg system.Config) (system.Result, error) {
 	return s.Run(w.Threads(s))
 }
 
+// Precompute materializes every scan op's lazily-built match cache.
+// The cache is otherwise filled during the first run that touches it,
+// which would race when one workload is shared by concurrent runs;
+// after Precompute the workload is read-only and safe to share across
+// parallel model variants. Idempotent.
+func (w *Workload) Precompute() {
+	for _, op := range w.ops {
+		if op.kind == opScan {
+			w.matchesInScope(op, 0)
+		}
+	}
+}
+
 // matchesInScope returns (cached) matches of a scan op inside one scope.
 func (w *Workload) matchesInScope(op *opSpec, scope mem.ScopeID) []match {
 	if op.matches == nil {
