@@ -25,6 +25,7 @@ import (
 	"bulkpim/internal/mem"
 	"bulkpim/internal/pimdb"
 	"bulkpim/internal/report"
+	"bulkpim/internal/resultcache"
 	"bulkpim/internal/runner"
 	"bulkpim/internal/sim"
 	"bulkpim/internal/system"
@@ -221,6 +222,34 @@ func SimJobs(specs []SimJob) []Job { return runner.SimJobs(specs) }
 
 // SummarizeJobs folds a batch into its accounting.
 func SummarizeJobs(rs []JobResult) JobSummary { return runner.Summarize(rs) }
+
+// WorkerPool is a shared worker pool: several concurrent RunJobs
+// batches can submit to one pool (JobOptions.Pool), bounding total
+// simulation concurrency suite-wide. RunAll uses one internally.
+type WorkerPool = runner.Pool
+
+// NewWorkerPool starts a pool of `parallelism` workers (<= 0 =
+// GOMAXPROCS). Close it to release them.
+func NewWorkerPool(parallelism int) *WorkerPool { return runner.NewPool(parallelism) }
+
+// ---- persistent result cache ----
+
+// ResultCache is an on-disk, content-addressed store of finished
+// simulation results, keyed by (job key, config + workload
+// fingerprint, schema version) and persisted as JSON lines. Set it on
+// Options.Cache (or pimbench -cache-dir) to memoize grid points across
+// harness invocations: a warm run skips already-computed points and
+// emits byte-identical reports, so an interrupted sweep resumes
+// cheaply. Loading tolerates truncated or corrupt lines — the residue
+// of an interrupted run — and invalidates entries from older schema
+// versions.
+type ResultCache = resultcache.Cache
+
+// CacheStats is the cache's hit/miss/invalidation accounting.
+type CacheStats = resultcache.Stats
+
+// OpenResultCache loads (or creates) a result cache under dir.
+func OpenResultCache(dir string) (*ResultCache, error) { return resultcache.Open(dir) }
 
 // ---- Hardware overhead (paper §VI-A) ----
 

@@ -1,0 +1,105 @@
+package bulkpim
+
+// Tests for the persistent result cache's end-to-end contract: a
+// warm-cache suite run must produce byte-identical reports to a
+// cold-cache run (results round-trip exactly through the JSON-lines
+// store), a warm run must actually be served from the cache, and a
+// truncated cache file — the residue of an interrupted run — must
+// degrade to a partial cache instead of failing the run.
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// runAllReports executes the full suite at smoke scale against the
+// given cache and returns the concatenated per-experiment reports in
+// canonical order.
+func runAllReports(t *testing.T, cache *ResultCache) string {
+	t.Helper()
+	var b strings.Builder
+	opts := Options{Scale: ScaleSmoke, Cache: cache}
+	if _, err := RunAll(opts, func(name, report string) {
+		b.WriteString("==== " + name + " ====\n" + report + "\n")
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestWarmCacheByteIdenticalReports is the memoization contract: the
+// cold run computes and stores every grid point; the warm run must
+// serve >90% of lookups from the cache (everything but the litmus
+// sweeps, which carry no config fingerprint) and emit exactly the same
+// bytes.
+func TestWarmCacheByteIdenticalReports(t *testing.T) {
+	cache, err := OpenResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+
+	cold := runAllReports(t, cache)
+	afterCold := cache.Stats()
+	if afterCold.Stores == 0 {
+		t.Fatal("cold run stored nothing")
+	}
+
+	warm := runAllReports(t, cache)
+	if cold != warm {
+		t.Fatalf("warm-cache reports differ from cold-cache reports\ncold %d bytes, warm %d bytes",
+			len(cold), len(warm))
+	}
+	warmStats := cache.Stats()
+	hits := warmStats.Hits - afterCold.Hits
+	misses := warmStats.Misses - afterCold.Misses
+	if hits+misses == 0 {
+		t.Fatal("warm run performed no lookups")
+	}
+	if rate := float64(hits) / float64(hits+misses); rate <= 0.9 {
+		t.Fatalf("warm hit rate %.1f%% (%d hits, %d misses), want >90%%",
+			100*rate, hits, misses)
+	}
+	if warmStats.Stores != afterCold.Stores {
+		t.Fatalf("warm run re-stored points: %d -> %d", afterCold.Stores, warmStats.Stores)
+	}
+}
+
+// TestTruncatedCacheIgnoredNotFatal interrupts a cached run by
+// truncating the store mid-line: reopening must succeed, valid entries
+// must survive, and a fresh suite run must recompute only what was
+// lost while still producing identical reports.
+func TestTruncatedCacheIgnoredNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := runAllReports(t, cache)
+	entries := cache.Len()
+	cache.Close()
+
+	b, err := os.ReadFile(cache.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.Path(), b[:len(b)-37], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenResultCache(dir)
+	if err != nil {
+		t.Fatalf("truncated cache must not be fatal: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Stats().Corrupt == 0 {
+		t.Fatalf("truncated line not counted: %+v", reopened.Stats())
+	}
+	if got := reopened.Len(); got == 0 || got >= entries {
+		t.Fatalf("loaded %d entries from truncated file, had %d", got, entries)
+	}
+	if rerun := runAllReports(t, reopened); rerun != reference {
+		t.Fatal("reports after cache truncation differ from reference")
+	}
+}

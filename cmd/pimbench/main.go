@@ -5,13 +5,21 @@
 //
 //	pimbench -exp fig7 -scale quick
 //	pimbench -exp all  -scale medium -parallel 8 -v
+//	pimbench -exp all  -scale full -resume                # interrupt...
+//	pimbench -exp all  -scale full -resume                # ...and resume
 //	pimbench -list
 //
-// Scales: quick (minutes), medium (tens of minutes), full (the paper's
-// measurement volume; hours sequentially — every grid point is an
-// independent simulation, so -parallel N divides the wall time down to
-// the slowest single point). All scales produce the same figure shapes;
-// see README.md.
+// Scales: smoke (CI, seconds), quick (minutes), medium (tens of
+// minutes), full (the paper's measurement volume; hours sequentially —
+// every grid point is an independent simulation, so -parallel N divides
+// the wall time down to the slowest single point). All scales produce
+// the same figure shapes; see README.md.
+//
+// With -cache-dir (or -resume), finished grid points are memoized on
+// disk and skipped on re-runs; reports are byte-identical either way,
+// and a cache-stats summary is printed on stderr. -resume uses
+// .pimbench-cache unless -cache-dir names another directory; pass the
+// same directory on both runs.
 package main
 
 import (
@@ -36,12 +44,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
-	scale := fs.String("scale", "quick", "measurement scale: bench | quick | medium | full")
+	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
 	verbose := fs.Bool("v", false, "log per-run progress")
 	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
 	parallel := fs.Int("parallel", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	csvDir := fs.String("csvdir", "", "also write figure series as CSV files into this directory")
+	cacheDir := fs.String("cache-dir", "", "persist finished grid points here and skip them on re-runs (reports are byte-identical either way)")
+	noCache := fs.Bool("no-cache", false, "disable the result cache even when -cache-dir or -resume is set")
+	resume := fs.Bool("resume", false, "resume an interrupted run from the result cache (defaults -cache-dir to "+defaultCacheDir+")")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -55,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
+		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+		return 2
+	}
 
 	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed, Parallelism: *parallel}
 	if *verbose {
@@ -63,9 +78,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	dir := *cacheDir
+	if *resume && dir == "" {
+		dir = defaultCacheDir
+	}
+	var cache *bulkpim.ResultCache
+	if dir != "" && !*noCache {
+		var err error
+		if cache, err = bulkpim.OpenResultCache(dir); err != nil {
+			fmt.Fprintf(stderr, "pimbench: %v\n", err)
+			return 1
+		}
+		defer cache.Close()
+		opts.Cache = cache
+		if *resume {
+			fmt.Fprintf(stderr, "pimbench: resuming from %s (%d cached points)\n",
+				cache.Path(), cache.Len())
+		}
+	}
+
 	start := time.Now()
-	if err := runExperiments(*exp, opts, stdout, stderr); err != nil {
-		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+	runErr := runExperiments(*exp, opts, stdout, stderr)
+	// Accounting goes to stderr even on failure: a partially-failed
+	// resumed run still reports what it skipped and recomputed.
+	if cache != nil {
+		fmt.Fprintf(stderr, "pimbench: cache: %s (%s)\n", cache.Stats(), cache.Path())
+	}
+	if runErr != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", runErr)
 		return 1
 	}
 	if *csvDir != "" {
@@ -79,8 +119,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runExperiments executes one experiment — or, for "all", each in turn
-// with a per-experiment wall-time report on stderr.
+// defaultCacheDir is where -resume looks without an explicit -cache-dir.
+const defaultCacheDir = ".pimbench-cache"
+
+// runExperiments executes one experiment — or, for "all", every
+// experiment concurrently on one shared worker pool, with a
+// per-experiment timing footer on stderr (wall times vary run to run,
+// so the footer stays out of the byte-stable stdout reports).
 func runExperiments(exp string, opts bulkpim.Options, stdout, stderr io.Writer) error {
 	if exp != "all" {
 		out, err := bulkpim.RunExperiment(exp, opts)
@@ -90,11 +135,13 @@ func runExperiments(exp string, opts bulkpim.Options, stdout, stderr io.Writer) 
 		fmt.Fprint(stdout, out)
 		return nil
 	}
-	return bulkpim.RunAll(opts, func(name, report string) {
+	timings, err := bulkpim.RunAll(opts, func(name, report string) {
 		fmt.Fprintf(stdout, "==== %s ====\n%s\n", name, report)
 	}, func(name string, d time.Duration) {
 		fmt.Fprintf(stderr, "pimbench: %s in %s\n", name, d.Round(time.Millisecond))
 	})
+	fmt.Fprintf(stderr, "pimbench: %s\n", bulkpim.TimingFooter(timings))
+	return err
 }
 
 // writeCSVs re-renders figure series as CSV for external plotting. Only

@@ -52,3 +52,83 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Fatalf("stderr: %s", stderr.String())
 	}
 }
+
+// TestRunCacheWarm runs the same experiment twice against one cache
+// dir: the second run must serve every point from the cache and print
+// byte-identical reports on stdout.
+func TestRunCacheWarm(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func() (string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-exp", "fig3", "-scale", "smoke", "-cache-dir", dir}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	coldOut, coldErr := runOnce()
+	warmOut, warmErr := runOnce()
+	if coldOut != warmOut {
+		t.Fatalf("warm-cache report differs from cold:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+	if !strings.Contains(coldErr, "pimbench: cache:") || !strings.Contains(warmErr, "pimbench: cache:") {
+		t.Fatalf("missing cache stats line:\ncold:\n%s\nwarm:\n%s", coldErr, warmErr)
+	}
+	if !strings.Contains(warmErr, "0 misses") {
+		t.Fatalf("warm run recomputed points:\n%s", warmErr)
+	}
+}
+
+// TestRunResume: -resume without -cache-dir uses the default cache
+// location; -no-cache wins over both.
+func TestRunResume(t *testing.T) {
+	dir := t.TempDir() + "/resume-cache"
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig3", "-scale", "smoke", "-cache-dir", dir, "-resume"},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resuming from") {
+		t.Fatalf("missing resume line:\n%s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-exp", "fig3", "-scale", "smoke", "-cache-dir", dir, "-no-cache"},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "pimbench: cache:") {
+		t.Fatalf("-no-cache still used the cache:\n%s", stderr.String())
+	}
+}
+
+// TestRunUnknownScale must be rejected up front instead of silently
+// falling back to quick.
+func TestRunUnknownScale(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig3", "-scale", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown scale") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunAllTimingFooter: the "all" path must print the unconditional
+// per-experiment timing footer on stderr.
+func TestRunAllTimingFooter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "all", "-scale", "smoke"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	se := stderr.String()
+	if !strings.Contains(se, "pimbench: timing (overlapping):") || !strings.Contains(se, "total=") {
+		t.Fatalf("missing timing footer:\n%s", se)
+	}
+	for _, name := range []string{"fig1=", "fig8=", "multimod="} {
+		if !strings.Contains(se, name) {
+			t.Fatalf("timing footer missing %s:\n%s", name, se)
+		}
+	}
+}

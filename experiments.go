@@ -3,7 +3,9 @@ package bulkpim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"bulkpim/internal/core"
@@ -19,6 +21,10 @@ import (
 type Scale string
 
 const (
+	// ScaleSmoke is the smallest scale: one record count, a handful of
+	// operations — a CI smoke signal that every experiment still runs
+	// end to end (seconds for the whole suite).
+	ScaleSmoke Scale = "smoke"
 	// ScaleBench is the minimal scale used by `go test -bench` (seconds
 	// per figure).
 	ScaleBench Scale = "bench"
@@ -32,10 +38,27 @@ const (
 	ScaleFull Scale = "full"
 )
 
+// Scales lists the valid measurement scales, smallest first.
+func Scales() []Scale {
+	return []Scale{ScaleSmoke, ScaleBench, ScaleQuick, ScaleMedium, ScaleFull}
+}
+
+// ValidScale reports whether s names a known scale.
+func ValidScale(s Scale) bool {
+	for _, v := range Scales() {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Options configures the experiment harness.
 type Options struct {
 	Scale Scale
-	// Log receives progress lines; nil discards them.
+	// Log receives progress lines; nil discards them. RunAll serializes
+	// calls across its concurrent experiments, so Log need not be
+	// goroutine-safe.
 	Log func(format string, args ...interface{})
 	// Seed lets repeated harness runs vary; 0 uses the default.
 	Seed uint64
@@ -44,6 +67,19 @@ type Options struct {
 	// independent simulations, so results — figures, tables, CSVs — are
 	// byte-identical at every value.
 	Parallelism int
+	// Cache, when non-nil, memoizes finished grid points across harness
+	// invocations: every simulation job is looked up by (key, config +
+	// workload fingerprint) before executing and written back after.
+	// The simulations are deterministic and results round-trip exactly
+	// through the store, so cached and computed runs emit byte-identical
+	// reports; an interrupted run resumes by skipping finished points.
+	Cache *ResultCache
+	// pool and flight, when non-nil, schedule every sweep of this
+	// options value on one shared worker pool and deduplicate identical
+	// in-flight grid points across experiments (set by RunAll for
+	// suite-wide scheduling).
+	pool   *runner.Pool
+	flight *runner.Flight[Result]
 }
 
 func (o Options) log(format string, args ...interface{}) {
@@ -59,21 +95,39 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
-// runnerOpts forwards live per-job progress to the harness log. Under
-// parallelism the completion order (and therefore the log order) varies;
-// results do not.
+// runnerOpts forwards live per-job progress to the harness log and
+// wires the result cache's lookup/write-back hooks. Under parallelism
+// the completion order (and therefore the log order) varies; results
+// do not.
 func (o Options) runnerOpts() runner.Options[Result] {
-	return runner.Options[Result]{
+	ro := runner.Options[Result]{
 		Parallelism: o.Parallelism,
+		Pool:        o.pool,
+		Flight:      o.flight,
 		OnResult: func(done, total int, r runner.JobResult[Result]) {
 			if r.Err != nil {
 				o.log("[%d/%d] %s FAILED: %v", done, total, r.Key, r.Err)
 				return
 			}
-			o.log("[%d/%d] %s cycles=%d wall=%s", done, total, r.Key,
-				r.Value.Cycles, r.Wall.Round(time.Millisecond))
+			cached := ""
+			if r.Cached {
+				cached = " (cached)"
+			}
+			o.log("[%d/%d] %s cycles=%d wall=%s%s", done, total, r.Key,
+				r.Value.Cycles, r.Wall.Round(time.Millisecond), cached)
 		},
 	}
+	if c := o.Cache; c != nil {
+		ro.Lookup = c.Lookup
+		ro.Store = func(key, fingerprint string, v Result) {
+			// A failed write-back only costs a future recompute; it is
+			// counted in the cache stats and logged, never fatal.
+			if err := c.Store(key, fingerprint, v); err != nil {
+				o.log("cache store %s: %v", key, err)
+			}
+		}
+	}
+	return ro
 }
 
 // collectErrs folds per-job failures into one error, each reported
@@ -98,6 +152,8 @@ func (o Options) ycsbRecordCounts() []int {
 		return []int{100_000, 500_000, 2_000_000, 8_000_000, 16_000_000, 32_000_000}
 	case ScaleBench:
 		return []int{100_000, 2_000_000}
+	case ScaleSmoke:
+		return []int{100_000}
 	default:
 		return []int{100_000, 500_000, 2_000_000, 8_000_000}
 	}
@@ -111,6 +167,8 @@ func (o Options) ycsbOps() int {
 		return 60
 	case ScaleBench:
 		return 8
+	case ScaleSmoke:
+		return 4
 	default:
 		return 16
 	}
@@ -122,7 +180,7 @@ func (o Options) tpchScale() float64 {
 		return 1.0
 	case ScaleMedium:
 		return 0.1
-	case ScaleBench:
+	case ScaleBench, ScaleSmoke:
 		return 0.01
 	default:
 		return 0.02
@@ -186,6 +244,7 @@ func ycsbSweep(opts Options, prefix string, models []Model,
 		}
 		w := ycsb.New(p)
 		w.Precompute() // freeze the workload before sharing it across jobs
+		extra := ycsbIdentity(p)
 		for _, m := range models {
 			pt := point{w: w, records: records, model: m}
 			points = append(points, pt)
@@ -199,6 +258,7 @@ func ycsbSweep(opts Options, prefix string, models []Model,
 					}
 				},
 				Execute: func(cfg Config) (Result, error) { return ycsb.Run(pt.w, cfg) },
+				Extra:   extra,
 			})
 		}
 	}
@@ -213,6 +273,17 @@ func ycsbSweep(opts Options, prefix string, models []Model,
 		out = append(out, RunRecord{Model: pt.model, Records: pt.records, Scopes: pt.w.Scopes, Result: r.Value})
 	}
 	return out, collectErrs(results)
+}
+
+// ycsbIdentity renders the full workload parameter set as a SimJob
+// Extra string, so runs at different scales, seeds or thread counts
+// never alias in the result cache even when their Configs agree.
+func ycsbIdentity(p ycsb.Params) string { return fmt.Sprintf("ycsb:%+v", p) }
+
+// tpchIdentity is the TPC-H equivalent: query name plus everything
+// NewWorkload derives the instruction streams from.
+func tpchIdentity(q tpch.QuerySpec, threads int, scale float64, verify bool) string {
+	return fmt.Sprintf("tpch:%s:threads=%d:scale=%g:verify=%v", q.Name, threads, scale, verify)
 }
 
 // fig3Variants / fig7Variants are the paper's series.
@@ -431,6 +502,7 @@ func TPCHSweep(opts Options, models []Model) ([]TPCHRun, error) {
 	var specs []runner.SimJob
 	for _, q := range tpch.Queries() {
 		w := tpch.NewWorkload(q, 4, opts.tpchScale(), false)
+		extra := tpchIdentity(q, 4, opts.tpchScale(), false)
 		for _, m := range models {
 			pt := point{w: w, query: q.Name, model: m}
 			points = append(points, pt)
@@ -439,6 +511,7 @@ func TPCHSweep(opts Options, models []Model) ([]TPCHRun, error) {
 				Base:    DefaultConfig(),
 				Mutate:  func(cfg *Config) { cfg.Model = pt.model },
 				Execute: func(cfg Config) (Result, error) { return tpch.Run(pt.w, cfg) },
+				Extra:   extra,
 			})
 		}
 	}
@@ -524,6 +597,7 @@ func Fig9YCSB(opts Options) (*Table, error) {
 			Base:    DefaultConfig(),
 			Mutate:  func(cfg *Config) { cfg.Model = m },
 			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
+			Extra:   ycsbIdentity(p),
 		}
 	}
 	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
@@ -553,6 +627,7 @@ func Fig1Table(opts Options) (*Table, error) {
 	}
 	results := runner.RunJobs(jobs, runner.Options[[]LitmusOutcome]{
 		Parallelism: opts.Parallelism,
+		Pool:        opts.pool,
 		OnResult: func(done, total int, r runner.JobResult[[]LitmusOutcome]) {
 			opts.log("[%d/%d] %s wall=%s", done, total, r.Key, r.Wall.Round(time.Millisecond))
 		},
@@ -655,15 +730,16 @@ func AreaTable() *Table {
 }
 
 // lastRecordsWorkload generates the sweep's largest YCSB workload,
-// frozen for read-only sharing across a job batch.
-func lastRecordsWorkload(opts Options) *ycsb.Workload {
+// frozen for read-only sharing across a job batch, plus its cache
+// identity string.
+func lastRecordsWorkload(opts Options) (*ycsb.Workload, string) {
 	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
 	p := ycsb.DefaultParams(records)
 	p.Operations = opts.ycsbOps()
 	p.Seed = opts.seed()
 	w := ycsb.New(p)
 	w.Precompute()
-	return w
+	return w, ycsbIdentity(p)
 }
 
 // AblationTable quantifies the coherence hardware of §IV: the scope buffer
@@ -671,7 +747,7 @@ func lastRecordsWorkload(opts Options) *ycsb.Workload {
 // SBV a scan pays one cycle per LLC set; without the scope buffer every
 // PIM op scans.
 func AblationTable(opts Options) (*Table, error) {
-	w := lastRecordsWorkload(opts)
+	w, extra := lastRecordsWorkload(opts)
 
 	type variant struct {
 		name        string
@@ -695,6 +771,7 @@ func AblationTable(opts Options) (*Table, error) {
 				cfg.NoSBV = v.noSBV
 			},
 			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
+			Extra:   extra,
 		}
 	}
 	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
@@ -718,7 +795,7 @@ func AblationTable(opts Options) (*Table, error) {
 // small-sized scope buffer is sufficient to achieve close to the maximum
 // possible hit rate".
 func ScopeBufferSizingTable(opts Options) (*Table, error) {
-	w := lastRecordsWorkload(opts)
+	w, extra := lastRecordsWorkload(opts)
 
 	geoms := []struct{ sets, ways int }{{1, 1}, {4, 1}, {16, 1}, {64, 1}, {64, 4}}
 	specs := make([]runner.SimJob, len(geoms))
@@ -732,6 +809,7 @@ func ScopeBufferSizingTable(opts Options) (*Table, error) {
 				cfg.LLCScopeBufSets, cfg.LLCScopeBufWays = g.sets, g.ways
 			},
 			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
+			Extra:   extra,
 		}
 	}
 	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
@@ -756,7 +834,7 @@ func ScopeBufferSizingTable(opts Options) (*Table, error) {
 // PIM modules ("different PIM modules ... connect to the same host",
 // §II-A). More modules add module-level buffering and arrival bandwidth.
 func MultiModuleTable(opts Options) (*Table, error) {
-	w := lastRecordsWorkload(opts)
+	w, extra := lastRecordsWorkload(opts)
 	counts := []int{1, 2, 4}
 	specs := make([]runner.SimJob, len(counts))
 	for i, n := range counts {
@@ -769,6 +847,7 @@ func MultiModuleTable(opts Options) (*Table, error) {
 				cfg.PIMModules = n
 			},
 			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
+			Extra:   extra,
 		}
 	}
 	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
@@ -808,27 +887,114 @@ func StandaloneExperiments() []string {
 	return out
 }
 
-// RunAll executes every standalone experiment in order, handing each
-// name and printable report to emit. timed, when non-nil, additionally
-// receives each experiment's wall-clock time (it defaults to the
-// options log). It is the single "all" orchestration shared by
-// RunExperiment("all") and cmd/pimbench.
-func RunAll(opts Options, emit func(name, report string), timed func(name string, d time.Duration)) error {
-	if timed == nil {
-		timed = func(name string, d time.Duration) {
-			opts.log("%s finished in %s", name, d.Round(time.Millisecond))
+// ExperimentTiming is one experiment's wall-clock accounting inside a
+// RunAll suite: start-of-experiment to last-report, measured while the
+// experiment shares the suite pool with its siblings. Concurrent
+// experiments overlap, so Wall includes time queued behind other
+// experiments' jobs and the suite's walls sum to more than its elapsed
+// time — read them as completion latency, not exclusive compute (the
+// per-sweep runner.Summary in the -v log reports compute). Timing is
+// always collected — regardless of any timed callback — and returned
+// so callers can render a report footer.
+type ExperimentTiming struct {
+	Name string
+	Wall time.Duration
+}
+
+// TimingFooter renders a suite's timing accounting as one line,
+// suitable for a report footer. Wall times vary run to run, so the
+// footer belongs next to the other accounting (stderr in pimbench),
+// not inside the byte-stable experiment reports. total sums the
+// overlapping per-experiment walls; it exceeds the suite's elapsed
+// time whenever experiments ran concurrently.
+func TimingFooter(timings []ExperimentTiming) string {
+	var b strings.Builder
+	b.WriteString("timing (overlapping):")
+	var total time.Duration
+	for _, t := range timings {
+		total += t.Wall
+		fmt.Fprintf(&b, " %s=%s", t.Name, t.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, " total=%s", total.Round(time.Millisecond))
+	return b.String()
+}
+
+// RunAll executes every standalone experiment, handing each name and
+// printable report to emit in the canonical StandaloneExperiments
+// order. Experiments run concurrently — at most opts.Parallelism (or
+// GOMAXPROCS) at a time, so workload generation cannot oversubscribe
+// the machine the same cap the pool enforces for simulation — and
+// enqueue their simulation jobs onto one shared worker pool, so the
+// whole suite is bounded by its slowest single point rather than the
+// sum of per-experiment tails. Per-experiment result demultiplexing
+// keeps every report byte-identical to a serial run, and a shared
+// in-flight dedup computes grid points that several experiments
+// overlap on (the Naive baselines) only once. Per-experiment timing is
+// collected unconditionally and returned; timed, when non-nil,
+// additionally observes each experiment as it finishes (in emission
+// order). A failed experiment is reported against its name without
+// aborting the others. RunAll is the single "all" orchestration shared
+// by RunExperiment("all") and cmd/pimbench.
+func RunAll(opts Options, emit func(name, report string), timed func(name string, d time.Duration)) ([]ExperimentTiming, error) {
+	names := StandaloneExperiments()
+	pool := runner.NewPool(opts.Parallelism)
+	defer pool.Close()
+	opts.pool = pool
+	opts.flight = runner.NewFlight[Result]()
+	if inner := opts.Log; inner != nil {
+		// Experiments log concurrently; serialize so callers' Log (and
+		// pimbench's -v writer) need not be goroutine-safe.
+		var logMu sync.Mutex
+		opts.Log = func(format string, args ...interface{}) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			inner(format, args...)
 		}
 	}
-	for _, e := range StandaloneExperiments() {
-		start := time.Now()
-		out, err := RunExperiment(e, opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e, err)
-		}
-		timed(e, time.Since(start))
-		emit(e, out)
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	return nil
+	sem := make(chan struct{}, par)
+
+	type outcome struct {
+		report string
+		err    error
+		wall   time.Duration
+	}
+	outs := make([]outcome, len(names))
+	ready := make([]chan struct{}, len(names))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	for i, name := range names {
+		go func(i int, name string) {
+			defer close(ready[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			rep, err := RunExperiment(name, opts)
+			outs[i] = outcome{report: rep, err: err, wall: time.Since(start)}
+		}(i, name)
+	}
+
+	timings := make([]ExperimentTiming, 0, len(names))
+	var errs []error
+	for i, name := range names {
+		<-ready[i]
+		timings = append(timings, ExperimentTiming{Name: name, Wall: outs[i].wall})
+		if timed != nil {
+			timed(name, outs[i].wall)
+		} else {
+			opts.log("%s finished in %s", name, outs[i].wall.Round(time.Millisecond))
+		}
+		if outs[i].err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, outs[i].err))
+			continue
+		}
+		emit(name, outs[i].report)
+	}
+	return timings, errors.Join(errs...)
 }
 
 // RunExperiment dispatches by name and returns the printable report.
@@ -923,7 +1089,10 @@ func RunExperiment(name string, opts Options) (string, error) {
 		}
 		emit(t)
 	case "all":
-		if err := RunAll(opts, func(name, report string) {
+		// The timing footer is intentionally not embedded in the report:
+		// wall times vary run to run, and the report must stay
+		// byte-identical across cold, warm and parallel runs.
+		if _, err := RunAll(opts, func(name, report string) {
 			fmt.Fprintf(&b, "==== %s ====\n%s\n", name, report)
 		}, nil); err != nil {
 			return b.String(), err

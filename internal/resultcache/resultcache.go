@@ -1,0 +1,234 @@
+// Package resultcache is a persistent, content-addressed store of
+// finished simulation results. The paper's evaluation is a grid of
+// independent, deterministic points, so a point's outcome is fully
+// determined by its identity: the stable job key (which grid point),
+// a fingerprint of everything that feeds the simulation (final machine
+// Config plus workload parameters), and the cache schema/code version.
+// Memoizing finished points makes re-running a sweep — after an
+// interrupt, a flag tweak, or across harness invocations — cost only
+// the points that actually changed.
+//
+// Persistence is a JSON-lines file (one entry per line, appended as
+// results finish). Loading is corruption-tolerant: a truncated or
+// garbled line — the normal residue of an interrupted run — is counted
+// and skipped, never fatal. Entries written under a different
+// SchemaVersion are invalidated on load. Later lines win, so a re-run
+// that overwrites a key simply appends.
+package resultcache
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bulkpim/internal/system"
+)
+
+// SchemaVersion keys every entry. Bump it whenever the simulator's
+// semantics, the Result schema, or the fingerprint inputs change in a
+// way that invalidates previously computed points; old entries are
+// then skipped (and counted) at load instead of serving stale results.
+const SchemaVersion = "bulkpim-resultcache-v1"
+
+// FileName is the JSON-lines store inside the cache directory.
+const FileName = "results.jsonl"
+
+// entry is one persisted result line.
+type entry struct {
+	Version     string        `json:"v"`
+	Key         string        `json:"key"`
+	Fingerprint string        `json:"fp"`
+	Result      system.Result `json:"result"`
+}
+
+// Stats is the cache's accounting. Hits/Misses count Lookup calls;
+// Stores counts successful write-backs; Invalidated counts loaded
+// entries skipped for a version mismatch; Corrupt counts unparsable
+// lines skipped at load; StoreErrors counts failed write-backs
+// (unmarshalable results, I/O errors).
+type Stats struct {
+	Hits        int
+	Misses      int
+	Stores      int
+	Invalidated int
+	Corrupt     int
+	StoreErrors int
+}
+
+// HitRate returns hits / lookups, or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d stored, %d invalidated, %d corrupt lines, %d store errors",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Stores, s.Invalidated, s.Corrupt, s.StoreErrors)
+}
+
+// Cache is an on-disk result store, safe for concurrent use by every
+// worker of a shared pool.
+type Cache struct {
+	mu      sync.Mutex
+	path    string
+	file    *os.File
+	entries map[string]system.Result // composite key -> result
+	stats   Stats
+}
+
+// composite joins the lookup identity. Fingerprints are fixed-width
+// hex, so the separator cannot collide.
+func composite(key, fingerprint string) string { return key + "\x00" + fingerprint }
+
+// Open loads (or creates) the cache under dir. Unparsable lines and
+// entries from other schema versions are counted and skipped.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	c := &Cache{
+		path:    filepath.Join(dir, FileName),
+		entries: make(map[string]system.Result),
+	}
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	c.file = f
+	return c, nil
+}
+
+// load replays the JSON-lines file into the in-memory index. Later
+// lines override earlier ones, so interrupted-then-resumed runs
+// converge on the freshest result per point.
+func (c *Cache) load() error {
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			c.stats.Corrupt++
+			continue
+		}
+		if e.Version != SchemaVersion {
+			c.stats.Invalidated++
+			continue
+		}
+		c.entries[composite(e.Key, e.Fingerprint)] = e.Result
+	}
+	if err := sc.Err(); err != nil {
+		// An unreadable tail (e.g. an over-long corrupt line) degrades
+		// to a partial cache, it does not abort the run.
+		c.stats.Corrupt++
+	}
+	return nil
+}
+
+// Len returns the number of loaded + stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Lookup consults the cache; a hit returns the memoized result.
+func (c *Cache) Lookup(key, fingerprint string) (system.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[composite(key, fingerprint)]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return r, ok
+}
+
+// Store writes a finished result back: into the index and appended to
+// the JSON-lines file. Failures (unmarshalable results, I/O errors)
+// are counted in Stats and returned, but callers may ignore them — a
+// missed write-back only costs a future recompute.
+func (c *Cache) Store(key, fingerprint string, r system.Result) error {
+	line, err := json.Marshal(entry{
+		Version: SchemaVersion, Key: key, Fingerprint: fingerprint, Result: r,
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.stats.StoreErrors++
+		return fmt.Errorf("resultcache: marshal %s: %w", key, err)
+	}
+	if c.file != nil {
+		if _, err := c.file.Write(append(line, '\n')); err != nil {
+			c.stats.StoreErrors++
+			return fmt.Errorf("resultcache: write %s: %w", key, err)
+		}
+	}
+	c.entries[composite(key, fingerprint)] = r
+	c.stats.Stores++
+	return nil
+}
+
+// Stats returns a snapshot of the accounting.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Path returns the backing file's path.
+func (c *Cache) Path() string { return c.path }
+
+// Close flushes and closes the backing file. The cache stays readable
+// (in-memory) but further Stores only update the index.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.file == nil {
+		return nil
+	}
+	err := c.file.Close()
+	c.file = nil
+	return err
+}
+
+// Fingerprint hashes an arbitrary set of values — a final machine
+// Config, workload parameters — into a stable hex digest via their
+// canonical JSON forms (Go's encoder sorts map keys and emits
+// shortest-roundtrip floats, so equal values always hash equally). A
+// value that cannot be marshaled contributes its error text, keeping
+// the digest deterministic rather than failing the run.
+func Fingerprint(vs ...any) string {
+	h := sha256.New()
+	for _, v := range vs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			b = []byte("unmarshalable:" + err.Error())
+		}
+		h.Write(b)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}

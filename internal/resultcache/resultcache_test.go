@@ -1,0 +1,208 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"bulkpim/internal/sim"
+	"bulkpim/internal/system"
+)
+
+func TestCacheRoundtripAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := system.Result{Cycles: 1234, Seconds: 1234 / 3.6e9, DrainCycles: 1300,
+		Stats: map[string]float64{"a": 0.1, "b": 2}}
+	if _, ok := c.Lookup("k1", "fp1"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	if err := c.Store("k1", "fp1", r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup("k1", "fp1")
+	if !ok || got.Cycles != r.Cycles || got.Stats["a"] != 0.1 {
+		t.Fatalf("lookup = %+v, %v", got, ok)
+	}
+	if _, ok := c.Lookup("k1", "other-fp"); ok {
+		t.Fatal("hit with wrong fingerprint")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the entry must survive the process boundary, bit-exact.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 1 {
+		t.Fatalf("reloaded %d entries", c2.Len())
+	}
+	got, ok = c2.Lookup("k1", "fp1")
+	if !ok || got.Cycles != r.Cycles || got.Seconds != r.Seconds ||
+		got.DrainCycles != r.DrainCycles || got.Stats["b"] != 2 {
+		t.Fatalf("reloaded lookup = %+v, %v", got, ok)
+	}
+	st := c2.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 || st.Invalidated != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// A truncated or garbled line — the residue of an interrupted run —
+// must be skipped and counted, never fatal, and must not take valid
+// neighbours down with it.
+func TestCacheCorruptionTolerated(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Store(fmt.Sprintf("k%d", i), "fp", system.Result{Cycles: sim.Tick(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	// Truncate the file mid-way through the last line and append garbage.
+	path := filepath.Join(dir, FileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := b[:len(b)-10] // cuts into the k2 line
+	truncated = append(truncated, []byte("\nnot json at all\n{\"half\": \n")...)
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt cache file must not be fatal: %v", err)
+	}
+	defer c2.Close()
+	if _, ok := c2.Lookup("k0", "fp"); !ok {
+		t.Fatal("valid entry lost to a corrupt neighbour")
+	}
+	if _, ok := c2.Lookup("k1", "fp"); !ok {
+		t.Fatal("valid entry lost to a corrupt neighbour")
+	}
+	if _, ok := c2.Lookup("k2", "fp"); ok {
+		t.Fatal("truncated entry must miss")
+	}
+	if st := c2.Stats(); st.Corrupt == 0 {
+		t.Fatalf("corrupt lines not counted: %+v", st)
+	}
+}
+
+// Entries written under another schema version are invalidated at
+// load: counted, skipped, and recomputed rather than served stale.
+func TestCacheVersionInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	line, _ := json.Marshal(entry{
+		Version: "bulkpim-resultcache-v0", Key: "old", Fingerprint: "fp",
+		Result: system.Result{Cycles: 42},
+	})
+	if err := os.WriteFile(filepath.Join(dir, FileName), append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.Lookup("old", "fp"); ok {
+		t.Fatal("stale-version entry served")
+	}
+	if st := c.Stats(); st.Invalidated != 1 {
+		t.Fatalf("invalidated not counted: %+v", st)
+	}
+}
+
+// Later lines win: a re-run that overwrites a point's result appends,
+// and the reload sees the freshest value.
+func TestCacheLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	c.Store("k", "fp", system.Result{Cycles: 1})
+	c.Store("k", "fp", system.Result{Cycles: 2})
+	c.Close()
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if r, ok := c2.Lookup("k", "fp"); !ok || r.Cycles != 2 {
+		t.Fatalf("lookup = %+v, %v", r, ok)
+	}
+}
+
+// The cache is shared by every worker of the suite pool; concurrent
+// stores and lookups must be safe (exercised under -race in CI).
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				c.Store(key, "fp", system.Result{Cycles: sim.Tick(i)})
+				c.Lookup(key, "fp")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 10 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Hits: 9, Misses: 1, Stores: 1, Invalidated: 2, Corrupt: 3}
+	if s.HitRate() != 0.9 {
+		t.Fatalf("hit rate %v", s.HitRate())
+	}
+	for _, want := range []string{"9 hits", "1 misses", "90.0% hit rate", "2 invalidated", "3 corrupt"} {
+		if !strings.Contains(s.String(), want) {
+			t.Fatalf("stats string %q missing %q", s.String(), want)
+		}
+	}
+}
+
+// Fingerprint must be stable for equal values and sensitive to any
+// config or workload-parameter change.
+func TestFingerprint(t *testing.T) {
+	cfg := system.Default()
+	a := Fingerprint(cfg, "ycsb ops=8 seed=1")
+	b := Fingerprint(cfg, "ycsb ops=8 seed=1")
+	if a != b {
+		t.Fatalf("fingerprint unstable: %s vs %s", a, b)
+	}
+	cfg2 := cfg
+	cfg2.LLCSets = 8192
+	if Fingerprint(cfg2, "ycsb ops=8 seed=1") == a {
+		t.Fatal("config change did not change fingerprint")
+	}
+	if Fingerprint(cfg, "ycsb ops=16 seed=1") == a {
+		t.Fatal("workload change did not change fingerprint")
+	}
+	if len(a) != 32 {
+		t.Fatalf("fingerprint length %d", len(a))
+	}
+}

@@ -1,0 +1,58 @@
+package runner
+
+import "sync"
+
+// Flight deduplicates identical in-flight grid points across the
+// batches sharing it. Concurrent experiments overlap on grid points
+// (the Naive baseline sweep appears in several figures); a persistent
+// cache only serves points that *finished*, so when every experiment
+// starts at once the overlapping points all miss and are computed
+// once per experiment. With a Flight set on each batch's Options, the
+// first job to arrive at a (key, fingerprint) identity computes it and
+// every concurrent or later twin reuses the result — suite-wide, even
+// with no persistent cache configured.
+//
+// Completed calls are kept for the Flight's lifetime (one RunAll
+// suite): results are small, and keeping them makes the Flight an
+// in-memory memo for later batches of the same suite.
+type Flight[T any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[T]
+}
+
+type call[T any] struct {
+	done chan struct{}
+	v    T
+	err  error
+}
+
+// NewFlight returns an empty in-flight dedup table.
+func NewFlight[T any]() *Flight[T] {
+	return &Flight[T]{calls: map[string]*call[T]{}}
+}
+
+// Do executes fn under id, unless an earlier Do with the same id is in
+// flight or finished — then it waits for (or reuses) that call's
+// outcome instead. primary reports whether this caller ran fn. A
+// follower blocks only while the primary runs; the primary always
+// closes the call, so followers cannot leak. A follower called from a
+// pool worker holds that worker while it waits — acceptable because
+// overlapping identities are few and the alternative (recomputing) is
+// strictly worse — and its JobResult.Wall measures the wait, which
+// Summarize therefore excludes from compute accounting. Errors
+// propagate to every caller of the id: the twins describe the same
+// computation, so a failure is theirs too.
+func (f *Flight[T]) Do(id string, fn func() (T, error)) (v T, err error, primary bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[id]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.v, c.err, false
+	}
+	c := &call[T]{done: make(chan struct{})}
+	f.calls[id] = c
+	f.mu.Unlock()
+	defer close(c.done)
+	c.v, c.err = fn()
+	return c.v, c.err, true
+}

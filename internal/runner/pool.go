@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a shared worker pool. Where RunJobs normally spins up a
+// private pool per batch, several concurrent batches — e.g. every
+// experiment of an "-exp all" suite — can instead submit to one Pool,
+// so total simulation concurrency is bounded once, suite-wide, and the
+// whole run is limited by its slowest single point rather than the sum
+// of per-batch tails. Each RunJobs call still demultiplexes its own
+// results by submission index, so reports stay byte-identical at any
+// pool width.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// NewPool starts a pool of `parallelism` workers (<= 0 means
+// GOMAXPROCS). Close it to release them.
+func NewPool(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func())}
+	for i := 0; i < parallelism; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit hands one task to the pool, blocking until a worker accepts
+// it. Tasks must not themselves Submit (a batch submitted from inside
+// a worker could deadlock waiting for the worker it occupies).
+func (p *Pool) Submit(f func()) { p.tasks <- f }
+
+// Close stops accepting tasks and waits for in-flight ones to finish.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

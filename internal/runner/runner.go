@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"bulkpim/internal/resultcache"
 	"bulkpim/internal/sim"
 	"bulkpim/internal/system"
 )
@@ -26,7 +27,12 @@ type Job[T any] struct {
 	// Key stably identifies the point (e.g. "ycsb/records=100000/
 	// model=scope"); errors are reported against it.
 	Key string
-	Run func() (T, error)
+	// Fingerprint content-addresses the point: a digest of everything
+	// that determines its result (final config + workload identity).
+	// With Options.Lookup/Store set, a non-empty Fingerprint makes the
+	// job memoizable; empty means always execute.
+	Fingerprint string
+	Run         func() (T, error)
 }
 
 // JobResult pairs a job's outcome with its submission index. A failed
@@ -36,6 +42,12 @@ type JobResult[T any] struct {
 	Key   string
 	Value T
 	Err   error
+	// Cached marks a value served from Options.Lookup or from an
+	// in-flight twin (Options.Flight) instead of executed here. Cached
+	// and computed values are interchangeable: the simulations are
+	// deterministic, so consumers produce byte-identical output either
+	// way.
+	Cached bool
 	// Wall is the job's own wall-clock time (the batch's elapsed time
 	// is bounded by the slowest chain, not this sum).
 	Wall time.Duration
@@ -44,12 +56,27 @@ type JobResult[T any] struct {
 // Options configures a RunJobs batch.
 type Options[T any] struct {
 	// Parallelism caps concurrent workers; <= 0 means GOMAXPROCS.
-	// Results are identical at every value.
+	// Results are identical at every value. Ignored when Pool is set.
 	Parallelism int
+	// Pool, when non-nil, schedules this batch on a shared worker pool
+	// instead of a private one, bounding concurrency across every batch
+	// sharing the pool (suite-wide scheduling).
+	Pool *Pool
 	// OnResult, when non-nil, is invoked serially as jobs complete (in
 	// completion order, which varies under parallelism). done counts
 	// finished jobs including this one.
 	OnResult func(done, total int, r JobResult[T])
+	// Lookup, when non-nil, is consulted before executing any job with
+	// a non-empty Fingerprint; a hit skips execution. Store, when
+	// non-nil, receives every successful computed result for write-back.
+	// Both must be safe for concurrent use.
+	Lookup func(key, fingerprint string) (T, bool)
+	Store  func(key, fingerprint string, v T)
+	// Flight, when non-nil and shared across batches, deduplicates
+	// identical in-flight points: a fingerprinted job whose (key,
+	// fingerprint) twin is already running (or finished) in any sharing
+	// batch reuses that outcome instead of recomputing it.
+	Flight *Flight[T]
 }
 
 func (o Options[T]) parallelism() int {
@@ -59,41 +86,74 @@ func (o Options[T]) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// RunJobs executes jobs on a worker pool and returns one JobResult per
-// job, re-ordered by submission index — the same sequence a sequential
-// loop would produce. One failed point does not abort the batch.
+// RunJobs executes jobs on a worker pool — a private one, or the
+// shared Options.Pool — and returns one JobResult per job, re-ordered
+// by submission index: the same sequence a sequential loop would
+// produce. One failed point does not abort the batch. With cache hooks
+// set, each fingerprinted job is looked up before executing and its
+// computed result written back after.
 func RunJobs[T any](jobs []Job[T], opts Options[T]) []JobResult[T] {
 	results := make([]JobResult[T], len(jobs))
 	if len(jobs) == 0 {
 		return results
 	}
+	var (
+		mu   sync.Mutex // serializes OnResult
+		done int
+	)
+	exec := func(i int) {
+		start := time.Now()
+		r := JobResult[T]{Index: i, Key: jobs[i].Key}
+		compute := func() (T, error) {
+			v, err := runOne(jobs[i])
+			if err == nil && opts.Store != nil && jobs[i].Fingerprint != "" {
+				opts.Store(jobs[i].Key, jobs[i].Fingerprint, v)
+			}
+			return v, err
+		}
+		if v, ok := cacheLookup(jobs[i], opts); ok {
+			r.Value, r.Cached = v, true
+		} else if opts.Flight != nil && jobs[i].Fingerprint != "" {
+			var primary bool
+			r.Value, r.Err, primary = opts.Flight.Do(
+				jobs[i].Key+"\x00"+jobs[i].Fingerprint, compute)
+			r.Cached = !primary && r.Err == nil
+		} else {
+			r.Value, r.Err = compute()
+		}
+		r.Wall = time.Since(start)
+		results[i] = r
+		if opts.OnResult != nil {
+			mu.Lock()
+			done++
+			opts.OnResult(done, len(jobs), results[i])
+			mu.Unlock()
+		}
+	}
+
+	if opts.Pool != nil {
+		var batch sync.WaitGroup
+		batch.Add(len(jobs))
+		for i := range jobs {
+			i := i
+			opts.Pool.Submit(func() { defer batch.Done(); exec(i) })
+		}
+		batch.Wait()
+		return results
+	}
+
 	workers := opts.parallelism()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex // serializes OnResult
-		done int
-		idx  = make(chan int)
-	)
+	var wg sync.WaitGroup
+	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				start := time.Now()
-				v, err := runOne(jobs[i])
-				results[i] = JobResult[T]{
-					Index: i, Key: jobs[i].Key, Value: v, Err: err,
-					Wall: time.Since(start),
-				}
-				if opts.OnResult != nil {
-					mu.Lock()
-					done++
-					opts.OnResult(done, len(jobs), results[i])
-					mu.Unlock()
-				}
+				exec(i)
 			}
 		}()
 	}
@@ -103,6 +163,14 @@ func RunJobs[T any](jobs []Job[T], opts Options[T]) []JobResult[T] {
 	close(idx)
 	wg.Wait()
 	return results
+}
+
+// cacheLookup consults the batch's cache hook for a fingerprinted job.
+func cacheLookup[T any](j Job[T], opts Options[T]) (v T, ok bool) {
+	if opts.Lookup == nil || j.Fingerprint == "" {
+		return v, false
+	}
+	return opts.Lookup(j.Key, j.Fingerprint)
 }
 
 // runOne invokes a job, converting a panic into a per-job error so a
@@ -123,27 +191,49 @@ func runOne[T any](j Job[T]) (v T, err error) {
 // point, described by a stable key, a base machine configuration, an
 // optional Config mutator (model selection, ablation switches), and an
 // Execute that builds a fresh System for the final config and runs the
-// workload the closure shares read-only with its siblings.
+// workload the closure shares read-only with its siblings. Extra
+// carries workload identity the Config cannot see — operation counts,
+// seeds, query scale — and is folded into the cache fingerprint;
+// omitting it for a sweep whose workload varies outside the Config
+// would let differently-shaped runs alias in the result cache.
 type SimJob struct {
 	Key     string
 	Base    system.Config
 	Mutate  func(*system.Config)
 	Execute func(system.Config) (system.Result, error)
+	Extra   string
+}
+
+// Fingerprint content-addresses the point: a digest of the final
+// (mutated) Config plus the Extra workload identity. Mutate must be a
+// pure field-setter — it is applied to a fresh copy of Base here and
+// again at run time. TraceWriter is excluded: tracing is observational
+// and its sink is not part of the simulated machine.
+func (j SimJob) FingerprintID() string {
+	cfg := j.finalConfig()
+	cfg.TraceWriter = nil
+	return resultcache.Fingerprint(cfg, j.Extra)
+}
+
+func (j SimJob) finalConfig() system.Config {
+	cfg := j.Base
+	if j.Mutate != nil {
+		j.Mutate(&cfg)
+	}
+	return cfg
 }
 
 // Job lowers the spec into a runnable job. The Base config is copied
 // per run, so Mutate never leaks across points.
 func (j SimJob) Job() Job[system.Result] {
-	return Job[system.Result]{Key: j.Key, Run: func() (system.Result, error) {
-		cfg := j.Base
-		if j.Mutate != nil {
-			j.Mutate(&cfg)
-		}
-		if j.Execute == nil {
-			return system.Result{}, fmt.Errorf("nil Execute")
-		}
-		return j.Execute(cfg)
-	}}
+	return Job[system.Result]{Key: j.Key, Fingerprint: j.FingerprintID(),
+		Run: func() (system.Result, error) {
+			cfg := j.finalConfig()
+			if j.Execute == nil {
+				return system.Result{}, fmt.Errorf("nil Execute")
+			}
+			return j.Execute(cfg)
+		}}
 }
 
 // SimJobs lowers a batch of specs.
@@ -159,8 +249,13 @@ func SimJobs(specs []SimJob) []Job[system.Result] {
 type Summary struct {
 	Jobs   int
 	Failed int
-	// Wall sums per-job wall time: the compute the batch consumed, not
-	// its elapsed time.
+	// Cached counts results served from the result cache instead of
+	// executed.
+	Cached int
+	// Wall sums per-job wall time over executed (non-cached) jobs: the
+	// compute the batch consumed, not its elapsed time. Cached results
+	// are excluded — a cache hit costs nothing, and a Flight follower's
+	// wall is time spent waiting on its primary, not compute.
 	Wall time.Duration
 	// Cycles sums simulated cycles over the successful jobs.
 	Cycles sim.Tick
@@ -170,7 +265,11 @@ type Summary struct {
 func Summarize(rs []JobResult[system.Result]) Summary {
 	s := Summary{Jobs: len(rs)}
 	for _, r := range rs {
-		s.Wall += r.Wall
+		if r.Cached {
+			s.Cached++
+		} else {
+			s.Wall += r.Wall
+		}
 		if r.Err != nil {
 			s.Failed++
 			continue
@@ -181,6 +280,6 @@ func Summarize(rs []JobResult[system.Result]) Summary {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("%d jobs (%d failed), %d sim cycles, %s total job wall time",
-		s.Jobs, s.Failed, s.Cycles, s.Wall.Round(time.Millisecond))
+	return fmt.Sprintf("%d jobs (%d failed, %d cached), %d sim cycles, %s total job wall time",
+		s.Jobs, s.Failed, s.Cached, s.Cycles, s.Wall.Round(time.Millisecond))
 }

@@ -3,8 +3,10 @@ package runner
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"bulkpim/internal/system"
 )
@@ -158,15 +160,254 @@ func TestSimJobMutateIsolated(t *testing.T) {
 // Summarize counts failures and sums cycles over successes only.
 func TestSummarize(t *testing.T) {
 	rs := []JobResult[system.Result]{
-		{Value: system.Result{Cycles: 100}},
-		{Err: fmt.Errorf("x"), Value: system.Result{Cycles: 999}},
-		{Value: system.Result{Cycles: 50}},
+		{Value: system.Result{Cycles: 100}, Wall: 3 * time.Second},
+		{Err: fmt.Errorf("x"), Value: system.Result{Cycles: 999}, Wall: time.Second},
+		// Cached: a Flight follower's wall is wait, not compute —
+		// excluded from Summary.Wall.
+		{Value: system.Result{Cycles: 50}, Cached: true, Wall: time.Minute},
 	}
 	s := Summarize(rs)
-	if s.Jobs != 3 || s.Failed != 1 || s.Cycles != 150 {
+	if s.Jobs != 3 || s.Failed != 1 || s.Cached != 1 || s.Cycles != 150 {
 		t.Fatalf("summary %+v", s)
 	}
-	if !strings.Contains(s.String(), "3 jobs (1 failed)") {
+	if s.Wall != 4*time.Second {
+		t.Fatalf("cached wall not excluded: %v", s.Wall)
+	}
+	if !strings.Contains(s.String(), "3 jobs (1 failed, 1 cached)") {
 		t.Fatalf("summary string %q", s.String())
+	}
+}
+
+// Cache hooks: a fingerprinted job consults Lookup before executing
+// and writes back through Store; a hit skips execution entirely and is
+// flagged Cached. Jobs without a fingerprint never touch the cache.
+func TestRunJobsCacheHooks(t *testing.T) {
+	var mu sync.Mutex
+	store := map[string]int{}
+	var executions int32
+	mkJobs := func() []Job[int] {
+		jobs := intJobs(6, nil)
+		for i := range jobs {
+			i := i
+			if i != 5 { // job 5 stays unfingerprinted (uncacheable)
+				jobs[i].Fingerprint = fmt.Sprintf("fp-%d", i)
+			}
+			inner := jobs[i].Run
+			jobs[i].Run = func() (int, error) {
+				atomic.AddInt32(&executions, 1)
+				return inner()
+			}
+		}
+		return jobs
+	}
+	opts := Options[int]{
+		Parallelism: 3,
+		Lookup: func(key, fp string) (int, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			v, ok := store[key+fp]
+			return v, ok
+		},
+		Store: func(key, fp string, v int) {
+			mu.Lock()
+			defer mu.Unlock()
+			store[key+fp] = v
+		},
+	}
+	cold := RunJobs(mkJobs(), opts)
+	for i, r := range cold {
+		if r.Cached || r.Err != nil || r.Value != i*10 {
+			t.Fatalf("cold result %d: %+v", i, r)
+		}
+	}
+	if executions != 6 || len(store) != 5 {
+		t.Fatalf("cold: executions=%d stored=%d", executions, len(store))
+	}
+	warm := RunJobs(mkJobs(), opts)
+	for i, r := range warm {
+		if r.Err != nil || r.Value != i*10 {
+			t.Fatalf("warm result %d: %+v", i, r)
+		}
+		wantCached := i != 5
+		if r.Cached != wantCached {
+			t.Fatalf("warm result %d cached=%v, want %v", i, r.Cached, wantCached)
+		}
+	}
+	if executions != 7 { // only the unfingerprinted job re-ran
+		t.Fatalf("warm: executions=%d", executions)
+	}
+}
+
+// A failed job must not be written back.
+func TestRunJobsCacheSkipsFailures(t *testing.T) {
+	stored := 0
+	RunJobs([]Job[int]{{Key: "k", Fingerprint: "fp", Run: func() (int, error) {
+		return 0, fmt.Errorf("boom")
+	}}}, Options[int]{
+		Lookup: func(string, string) (int, bool) { return 0, false },
+		Store:  func(string, string, int) { stored++ },
+	})
+	if stored != 0 {
+		t.Fatalf("failed job written back %d times", stored)
+	}
+}
+
+// A shared Pool bounds concurrency across batches submitted from
+// different goroutines, and each batch still demultiplexes its own
+// results in submission order.
+func TestPoolSharedScheduling(t *testing.T) {
+	const width = 3
+	pool := NewPool(width)
+	defer pool.Close()
+
+	var inflight, peak int32
+	slowJobs := func(n, base int) []Job[int] {
+		jobs := make([]Job[int], n)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{Key: fmt.Sprintf("b%d-j%d", base, i), Run: func() (int, error) {
+				cur := atomic.AddInt32(&inflight, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+						break
+					}
+				}
+				defer atomic.AddInt32(&inflight, -1)
+				return base + i, nil
+			}}
+		}
+		return jobs
+	}
+
+	var wg sync.WaitGroup
+	batches := make([][]JobResult[int], 4)
+	for b := 0; b < 4; b++ {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batches[b] = RunJobs(slowJobs(10, b*100), Options[int]{Pool: pool})
+		}()
+	}
+	wg.Wait()
+
+	if got := atomic.LoadInt32(&peak); got > width {
+		t.Fatalf("peak concurrency %d exceeds pool width %d", got, width)
+	}
+	for b, rs := range batches {
+		if len(rs) != 10 {
+			t.Fatalf("batch %d: %d results", b, len(rs))
+		}
+		for i, r := range rs {
+			if r.Err != nil || r.Value != b*100+i || r.Index != i {
+				t.Fatalf("batch %d result %d: %+v", b, i, r)
+			}
+		}
+	}
+}
+
+// SimJob fingerprints must be stable, sensitive to config mutation and
+// Extra workload identity, and computed without leaking the mutation
+// into Base.
+func TestSimJobFingerprint(t *testing.T) {
+	base := system.Default()
+	j := SimJob{Key: "k", Base: base, Extra: "ops=8",
+		Mutate:  func(c *system.Config) { c.Cores = 16 },
+		Execute: func(c system.Config) (system.Result, error) { return system.Result{}, nil }}
+	fp1, fp2 := j.FingerprintID(), j.FingerprintID()
+	if fp1 == "" || fp1 != fp2 {
+		t.Fatalf("fingerprint unstable: %q vs %q", fp1, fp2)
+	}
+	if base.Cores != system.Default().Cores {
+		t.Fatal("FingerprintID mutated Base")
+	}
+	j2 := j
+	j2.Mutate = func(c *system.Config) { c.Cores = 8 }
+	if j2.FingerprintID() == fp1 {
+		t.Fatal("config mutation not reflected in fingerprint")
+	}
+	j3 := j
+	j3.Extra = "ops=16"
+	if j3.FingerprintID() == fp1 {
+		t.Fatal("Extra not reflected in fingerprint")
+	}
+	if SimJobs([]SimJob{j})[0].Fingerprint != fp1 {
+		t.Fatal("lowering dropped the fingerprint")
+	}
+}
+
+// A Flight shared across concurrent batches computes each (key,
+// fingerprint) identity exactly once: the first arrival runs, twins
+// wait and reuse the outcome (flagged Cached), and a primary's error
+// propagates to its twins.
+func TestFlightDedupAcrossBatches(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	flight := NewFlight[int]()
+	var executions int32
+	mkBatch := func(fail bool) []Job[int] {
+		jobs := make([]Job[int], 4)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{
+				Key:         fmt.Sprintf("shared-%d", i),
+				Fingerprint: "fp",
+				Run: func() (int, error) {
+					atomic.AddInt32(&executions, 1)
+					if fail && i == 3 {
+						return 0, fmt.Errorf("boom shared-3")
+					}
+					return i * 7, nil
+				},
+			}
+		}
+		return jobs
+	}
+	opts := Options[int]{Pool: pool, Flight: flight}
+	var wg sync.WaitGroup
+	batches := make([][]JobResult[int], 3)
+	for b := range batches {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batches[b] = RunJobs(mkBatch(true), opts)
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&executions); got != 4 {
+		t.Fatalf("%d executions for 12 jobs over 4 identities", got)
+	}
+	cached := 0
+	for _, rs := range batches {
+		for i, r := range rs {
+			if i == 3 {
+				if r.Err == nil || !strings.Contains(r.Err.Error(), "boom shared-3") {
+					t.Fatalf("twin of failed primary: %+v", r)
+				}
+				continue
+			}
+			if r.Err != nil || r.Value != i*7 {
+				t.Fatalf("batch result %d: %+v", i, r)
+			}
+			if r.Cached {
+				cached++
+			}
+		}
+	}
+	if cached != 6 { // 9 successful results over 3 identities: 3 primaries, 6 twins
+		t.Fatalf("cached twins = %d, want 6", cached)
+	}
+
+	// A later batch on the same flight reuses the memo without waiting.
+	late := RunJobs(mkBatch(false), Options[int]{Flight: flight})
+	if atomic.LoadInt32(&executions) != 4 {
+		t.Fatal("late batch recomputed")
+	}
+	for i, r := range late[:3] {
+		if !r.Cached || r.Value != i*7 {
+			t.Fatalf("late result %d: %+v", i, r)
+		}
 	}
 }
