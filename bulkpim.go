@@ -251,6 +251,28 @@ type CacheStats = resultcache.Stats
 // OpenResultCache loads (or creates) a result cache under dir.
 func OpenResultCache(dir string) (*ResultCache, error) { return resultcache.Open(dir) }
 
+// CacheFileStats summarizes one validated cache file; CacheMergeStats
+// summarizes a merge of several.
+type (
+	CacheFileStats  = resultcache.FileStats
+	CacheMergeStats = resultcache.MergeStats
+)
+
+// ValidateResultCache strictly checks one cache file (or directory):
+// unlike the tolerant load path, a corrupt line, a foreign schema
+// version or conflicting results for one (key, fingerprint) identity
+// is an error naming the file and line.
+func ValidateResultCache(path string) (CacheFileStats, error) { return resultcache.Validate(path) }
+
+// MergeResultCaches validates the source caches (directories or
+// results.jsonl paths) and writes their deduplicated union to
+// dstDir/results.jsonl — the coordinator half of a sharded run, after
+// which a report pass against dstDir is served entirely from cache
+// hits. See resultcache.Merge for the conflict rules.
+func MergeResultCaches(dstDir string, srcs ...string) (CacheMergeStats, error) {
+	return resultcache.Merge(dstDir, srcs...)
+}
+
 // ---- Hardware overhead (paper §VI-A) ----
 
 // AreaReport is the scope buffer + SBV area estimate.

@@ -3,11 +3,29 @@
 //
 // Usage:
 //
+//	pimbench [run] [flags]      execute experiments and print reports
+//	pimbench plan [flags]       print the deterministic job manifest
+//	pimbench merge -o DIR SRC...  merge collected result caches
+//
 //	pimbench -exp fig7 -scale quick
 //	pimbench -exp all  -scale medium -parallel 8 -v
 //	pimbench -exp all  -scale full -resume                # interrupt...
 //	pimbench -exp all  -scale full -resume                # ...and resume
 //	pimbench -list
+//
+// Distributed runs split the suite across machines. Planning is
+// deterministic and the -shard filter is a stable hash of the job key,
+// so independently planned shards partition the suite exactly:
+//
+//	pimbench plan -exp all -scale full -json              # manifest
+//	pimbench run -exp all -scale full -shard 0/2 -cache-dir s0   # machine 0
+//	pimbench run -exp all -scale full -shard 1/2 -cache-dir s1   # machine 1
+//	pimbench merge -o merged s0 s1
+//	pimbench run -exp all -scale full -cache-dir merged   # warm report pass
+//
+// A shard run executes only its grid points (no reports); the final
+// report pass is served entirely from the merged cache and is
+// byte-identical to a single-process run.
 //
 // Scales: smoke (CI, seconds), quick (minutes), medium (tens of
 // minutes), full (the paper's measurement volume; hours sequentially —
@@ -23,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,8 +58,32 @@ func main() {
 }
 
 // run is main with its dependencies injected (flags, output streams) so
-// tests can drive the binary end-to-end in-process.
+// tests can drive the binary end-to-end in-process. The first argument
+// selects a subcommand; bare flags keep their historical meaning of
+// "run".
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "run":
+			return runCmd(args[1:], stdout, stderr)
+		case "plan":
+			return planCmd(args[1:], stdout, stderr)
+		case "merge":
+			return mergeCmd(args[1:], stdout, stderr)
+		default:
+			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge)\n", args[0])
+			return 2
+		}
+	}
+	return runCmd(args, stdout, stderr)
+}
+
+// defaultCacheDir is where -resume looks without an explicit -cache-dir.
+const defaultCacheDir = ".pimbench-cache"
+
+// runCmd executes experiments: the full plan -> execute -> report path,
+// or — with -shard — the execute-only worker half of a distributed run.
+func runCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
@@ -53,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "persist finished grid points here and skip them on re-runs (reports are byte-identical either way)")
 	noCache := fs.Bool("no-cache", false, "disable the result cache even when -cache-dir or -resume is set")
 	resume := fs.Bool("resume", false, "resume an interrupted run from the result cache (defaults -cache-dir to "+defaultCacheDir+")")
+	shardFlag := fs.String("shard", "", "execute only shard i/n of the planned jobs (stable hash of the job key) into the cache; no reports are built")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -70,6 +114,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
 		return 2
 	}
+	var shard bulkpim.Shard
+	sharded := *shardFlag != ""
+	if sharded {
+		var err error
+		if shard, err = bulkpim.ParseShard(*shardFlag); err != nil {
+			fmt.Fprintf(stderr, "pimbench: %v\n", err)
+			return 2
+		}
+		if *csvDir != "" {
+			fmt.Fprintln(stderr, "pimbench: -csvdir is incompatible with -shard (shard runs build no reports)")
+			return 2
+		}
+	}
 
 	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed, Parallelism: *parallel}
 	if *verbose {
@@ -81,6 +138,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := *cacheDir
 	if *resume && dir == "" {
 		dir = defaultCacheDir
+	}
+	if sharded && (dir == "" || *noCache) {
+		fmt.Fprintln(stderr, "pimbench: -shard needs -cache-dir (or -resume): a shard ships its results as a cache file")
+		return 2
 	}
 	var cache *bulkpim.ResultCache
 	if dir != "" && !*noCache {
@@ -98,7 +159,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	runErr := runExperiments(*exp, opts, stdout, stderr)
+	var runErr error
+	if sharded {
+		runErr = runShard(*exp, opts, shard, stderr)
+	} else {
+		runErr = runExperiments(*exp, opts, stdout, stderr)
+	}
 	// Accounting goes to stderr even on failure: a partially-failed
 	// resumed run still reports what it skipped and recomputed.
 	if cache != nil {
@@ -119,8 +185,97 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// defaultCacheDir is where -resume looks without an explicit -cache-dir.
-const defaultCacheDir = ".pimbench-cache"
+// runShard executes the shard's slice of the planned jobs into the
+// cache — the worker half of a distributed run. Reports stay with the
+// coordinator, so stdout is untouched.
+func runShard(exp string, opts bulkpim.Options, shard bulkpim.Shard, stderr io.Writer) error {
+	sum, err := bulkpim.ExecuteShard(exp, opts, shard)
+	fmt.Fprintf(stderr, "pimbench: shard %s: %s\n", shard, sum)
+	return err
+}
+
+// planCmd prints the deterministic job manifest — experiment, key,
+// fingerprint per planned job — without executing any simulation work.
+// -json emits the machine-readable form for external schedulers;
+// -shard filters to one shard's slice.
+func planCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to plan: "+strings.Join(bulkpim.Experiments(), ", "))
+	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	shardFlag := fs.String("shard", "", "print only shard i/n of the manifest")
+	asJSON := fs.Bool("json", false, "emit the manifest as JSON")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
+		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+		return 2
+	}
+	var shard bulkpim.Shard
+	if *shardFlag != "" {
+		var err error
+		if shard, err = bulkpim.ParseShard(*shardFlag); err != nil {
+			fmt.Fprintf(stderr, "pimbench: %v\n", err)
+			return 2
+		}
+	}
+
+	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
+	manifest, err := bulkpim.Manifest(*exp, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+	// FilterManifest applies the same dedup-then-assign rule as a
+	// `run -shard` execution, so the printed slice is exactly the work
+	// (and the cache entries) that shard will produce.
+	manifest = bulkpim.FilterManifest(manifest, shard)
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(manifest); err != nil {
+			fmt.Fprintf(stderr, "pimbench: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, j := range manifest {
+			fmt.Fprintf(stdout, "%s\t%s\t%s\n", j.Experiment, j.Key, j.Fingerprint)
+		}
+	}
+	fmt.Fprintf(stderr, "pimbench: planned %d jobs (%s at scale %s)\n", len(manifest), *exp, *scale)
+	return 0
+}
+
+// mergeCmd validates and merges collected result caches — the
+// coordinator half of a distributed run.
+func mergeCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "destination cache directory (required)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *out == "" || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "pimbench: usage: pimbench merge -o DIR SRC_DIR...")
+		return 2
+	}
+	stats, err := bulkpim.MergeResultCaches(*out, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: merge: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "merged into %s: %s\n", *out, stats)
+	return 0
+}
 
 // runExperiments executes one experiment — or, for "all", every
 // experiment concurrently on one shared worker pool, with a

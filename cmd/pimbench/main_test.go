@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -74,7 +75,8 @@ func TestRunCacheWarm(t *testing.T) {
 	if !strings.Contains(coldErr, "pimbench: cache:") || !strings.Contains(warmErr, "pimbench: cache:") {
 		t.Fatalf("missing cache stats line:\ncold:\n%s\nwarm:\n%s", coldErr, warmErr)
 	}
-	if !strings.Contains(warmErr, "0 misses") {
+	// The leading space matters: "10 misses" must not satisfy the gate.
+	if !strings.Contains(warmErr, " 0 misses") {
 		t.Fatalf("warm run recomputed points:\n%s", warmErr)
 	}
 }
@@ -112,6 +114,169 @@ func TestRunUnknownScale(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "unknown scale") {
 		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestShardMergeByteIdentical is the distributed pipeline's acceptance
+// contract end to end: a 2-shard smoke run of the whole suite, merged
+// via the merge subcommand, followed by a warm report pass, must emit
+// exactly the bytes of a single-process run — and the report pass must
+// be served entirely from the merged cache.
+func TestShardMergeByteIdentical(t *testing.T) {
+	mustRun := func(args ...string) (string, string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("pimbench %v: exit %d, stderr:\n%s", args, code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+
+	single, _ := mustRun("-exp", "all", "-scale", "smoke")
+
+	s0, s1, merged := t.TempDir(), t.TempDir(), t.TempDir()
+	out0, err0 := mustRun("run", "-exp", "all", "-scale", "smoke", "-shard", "0/2", "-cache-dir", s0)
+	out1, _ := mustRun("run", "-exp", "all", "-scale", "smoke", "-shard", "1/2", "-cache-dir", s1)
+	if out0 != "" || out1 != "" {
+		t.Fatalf("shard runs wrote reports to stdout:\n%s%s", out0, out1)
+	}
+	if !strings.Contains(err0, "shard 0/2") {
+		t.Fatalf("shard summary missing from stderr:\n%s", err0)
+	}
+
+	mergeOut, _ := mustRun("merge", "-o", merged, s0, s1)
+	if !strings.Contains(mergeOut, "merged into") {
+		t.Fatalf("merge summary missing:\n%s", mergeOut)
+	}
+
+	warm, warmErr := mustRun("-exp", "all", "-scale", "smoke", "-cache-dir", merged)
+	if warm != single {
+		t.Fatalf("sharded+merged warm report differs from single-process run:\nsingle %d bytes, warm %d bytes",
+			len(single), len(warm))
+	}
+	// The leading space matters: "10 misses" must not satisfy the gate.
+	if !strings.Contains(warmErr, " 0 misses") {
+		t.Fatalf("warm report pass recomputed points:\n%s", warmErr)
+	}
+}
+
+// TestShardRequiresCache: an execute-only shard run without a cache
+// would compute results and drop them; it must be rejected up front.
+func TestShardRequiresCache(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "-exp", "fig3", "-scale", "smoke", "-shard", "0/2"},
+		&stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-shard needs -cache-dir") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestShardBadSpec: malformed -shard values are usage errors.
+func TestShardBadSpec(t *testing.T) {
+	for _, bad := range []string{"2/2", "x", "-1/3"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"run", "-exp", "fig3", "-shard", bad, "-cache-dir", t.TempDir()},
+			&stdout, &stderr); code != 2 {
+			t.Fatalf("shard %q: exit code %d, want 2", bad, code)
+		}
+	}
+}
+
+// TestPlanText: the manifest is experiment/key/fingerprint lines, and
+// -shard filters partition it exactly.
+func TestPlanText(t *testing.T) {
+	plan := func(args ...string) []string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(append([]string{"plan"}, args...), &stdout, &stderr); code != 0 {
+			t.Fatalf("plan %v: exit %d, stderr:\n%s", args, code, stderr.String())
+		}
+		var lines []string
+		for _, l := range strings.Split(stdout.String(), "\n") {
+			if l != "" {
+				lines = append(lines, l)
+			}
+		}
+		return lines
+	}
+
+	full := plan("-exp", "all", "-scale", "smoke")
+	if len(full) == 0 {
+		t.Fatal("empty manifest")
+	}
+	for _, l := range full {
+		if parts := strings.Split(l, "\t"); len(parts) != 3 ||
+			parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			t.Fatalf("bad manifest line %q", l)
+		}
+	}
+	sh0 := plan("-exp", "all", "-scale", "smoke", "-shard", "0/2")
+	sh1 := plan("-exp", "all", "-scale", "smoke", "-shard", "1/2")
+	if len(sh0)+len(sh1) != len(full) || len(sh0) == 0 || len(sh1) == 0 {
+		t.Fatalf("shard manifests don't partition the suite: %d + %d != %d",
+			len(sh0), len(sh1), len(full))
+	}
+	union := map[string]bool{}
+	for _, l := range append(sh0, sh1...) {
+		union[l] = true
+	}
+	for _, l := range full {
+		if !union[l] {
+			t.Fatalf("manifest line lost by sharding: %q", l)
+		}
+	}
+}
+
+// TestPlanJSON: -json emits the machine-readable manifest for external
+// schedulers.
+func TestPlanJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"plan", "-exp", "fig3", "-scale", "smoke", "-json"},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var manifest []struct {
+		Experiment  string `json:"experiment"`
+		Key         string `json:"key"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &manifest); err != nil {
+		t.Fatalf("manifest is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(manifest) == 0 {
+		t.Fatal("empty manifest")
+	}
+	for _, j := range manifest {
+		if j.Experiment != "fig3" || !strings.HasPrefix(j.Key, "ycsb/") || len(j.Fingerprint) != 32 {
+			t.Fatalf("bad manifest entry %+v", j)
+		}
+	}
+}
+
+// TestUnknownSubcommand must fail with a usage error.
+func TestUnknownSubcommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"frobnicate"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown subcommand") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestMergeUsage: merge without -o or sources is a usage error.
+func TestMergeUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{"merge"},
+		{"merge", "-o", t.TempDir()},
+		{"merge", "somedir"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("%v: exit code %d, want 2", args, code)
+		}
 	}
 }
 

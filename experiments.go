@@ -1,17 +1,20 @@
 package bulkpim
 
+// Shared experiment-harness infrastructure: measurement scales, the
+// Options value threaded through every phase, the runner wiring
+// (parallelism, shared pool, cache and in-flight-dedup hooks), and the
+// suite timing accounting. The experiments themselves are declared in
+// the registry (registry.go) with one spec file per family:
+// exp_ycsb.go, exp_tpch.go, exp_litmus.go, exp_tables.go. The
+// distributed plan/shard/merge pipeline on top lives in plan.go.
+
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
-	"bulkpim/internal/core"
-	"bulkpim/internal/report"
 	"bulkpim/internal/runner"
-	"bulkpim/internal/workload/tpch"
 	"bulkpim/internal/workload/ycsb"
 )
 
@@ -34,7 +37,8 @@ const (
 	ScaleMedium Scale = "medium"
 	// ScaleFull is the paper's measurement volume (1000 YCSB ops, 10 runs
 	// per TPC-H query, full sweep densities). Expect hours sequentially;
-	// use Parallelism to bound it by the slowest single point.
+	// use Parallelism to bound it by the slowest single point, or shard
+	// the planned suite across machines (see plan.go).
 	ScaleFull Scale = "full"
 )
 
@@ -72,7 +76,9 @@ type Options struct {
 	// workload fingerprint) before executing and written back after.
 	// The simulations are deterministic and results round-trip exactly
 	// through the store, so cached and computed runs emit byte-identical
-	// reports; an interrupted run resumes by skipping finished points.
+	// reports; an interrupted run resumes by skipping finished points,
+	// and a run whose cache holds every planned point executes nothing
+	// (the report pass of a sharded suite).
 	Cache *ResultCache
 	// pool and flight, when non-nil, schedule every sweep of this
 	// options value on one shared worker pool and deduplicate identical
@@ -187,704 +193,12 @@ func (o Options) tpchScale() float64 {
 	}
 }
 
-// variantNames maps models to series names.
-func variantNames(models []Model) []string {
-	out := make([]string, len(models))
-	for i, m := range models {
-		out[i] = m.String()
-	}
-	return out
-}
-
-// RunRecord is one simulated run's outcome inside a sweep.
-type RunRecord struct {
-	Model   Model
-	Records int
-	Scopes  int
-	Result  Result
-}
-
-// YCSBSweep runs the given models across the option's record counts, with
-// modify applied to each system config (nil for the base Table II system).
-// Points run on the job runner at opts.Parallelism. Job keys use the
-// "ycsb" prefix; sweeps with a non-base config should go through
-// YCSBSweepNamed so differently-configured points get distinct keys.
-func YCSBSweep(opts Options, models []Model, modify func(*Config)) ([]RunRecord, error) {
-	return ycsbSweep(opts, "ycsb", models, nil, modify)
-}
-
-// YCSBSweepNamed is YCSBSweep with an explicit job-key prefix,
-// distinguishing differently-configured grids (Fig. 11 ablations, the
-// 8MB-LLC sweep) in progress logs, error reports and any future result
-// cache.
-func YCSBSweepNamed(opts Options, prefix string, models []Model, modify func(*Config)) ([]RunRecord, error) {
-	return ycsbSweep(opts, prefix, models, nil, modify)
-}
-
-// ycsbSweep is the shared sweep core: one workload is generated per
-// record count — hoisted out of the model loop and shared read-only by
-// every variant, so all models measure the identical operation sequence
-// without regenerating it per point — then one job per (records, model)
-// grid point is enqueued.
-func ycsbSweep(opts Options, prefix string, models []Model,
-	modifyParams func(*ycsb.Params), modify func(*Config)) ([]RunRecord, error) {
-	type point struct {
-		w       *ycsb.Workload
-		records int
-		model   Model
-	}
-	var points []point
-	var specs []runner.SimJob
-	for _, records := range opts.ycsbRecordCounts() {
-		p := ycsb.DefaultParams(records)
-		p.Operations = opts.ycsbOps()
-		p.Seed = opts.seed()
-		if modifyParams != nil {
-			modifyParams(&p)
-		}
-		w := ycsb.New(p)
-		w.Precompute() // freeze the workload before sharing it across jobs
-		extra := ycsbIdentity(p)
-		for _, m := range models {
-			pt := point{w: w, records: records, model: m}
-			points = append(points, pt)
-			specs = append(specs, runner.SimJob{
-				Key:  fmt.Sprintf("%s/records=%d/model=%s", prefix, records, m),
-				Base: DefaultConfig(),
-				Mutate: func(cfg *Config) {
-					cfg.Model = pt.model
-					if modify != nil {
-						modify(cfg)
-					}
-				},
-				Execute: func(cfg Config) (Result, error) { return ycsb.Run(pt.w, cfg) },
-				Extra:   extra,
-			})
-		}
-	}
-	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
-	opts.log("%s sweep: %s", prefix, runner.Summarize(results))
-	var out []RunRecord
-	for i, r := range results {
-		if r.Err != nil {
-			continue
-		}
-		pt := points[i]
-		out = append(out, RunRecord{Model: pt.model, Records: pt.records, Scopes: pt.w.Scopes, Result: r.Value})
-	}
-	return out, collectErrs(results)
-}
-
-// ycsbIdentity renders the full workload parameter set as a SimJob
-// Extra string, so runs at different scales, seeds or thread counts
-// never alias in the result cache even when their Configs agree.
-func ycsbIdentity(p ycsb.Params) string { return fmt.Sprintf("ycsb:%+v", p) }
-
-// tpchIdentity is the TPC-H equivalent: query name plus everything
-// NewWorkload derives the instruction streams from.
-func tpchIdentity(q tpch.QuerySpec, threads int, scale float64, verify bool) string {
-	return fmt.Sprintf("tpch:%s:threads=%d:scale=%g:verify=%v", q.Name, threads, scale, verify)
-}
-
-// fig3Variants / fig7Variants are the paper's series.
-var (
-	fig3Variants = []Model{Naive, Uncacheable, SWFlush}
-	fig7Variants = []Model{Naive, SWFlush, Atomic, Store, Scope, ScopeRelaxed}
-)
-
-// normalizeToNaive converts a sweep into per-point ratios against Naive.
-// It fails explicitly when a record count has no Naive baseline — the
-// model list omitted Naive, or its point errored — instead of emitting
-// +Inf ratios.
-func normalizeToNaive(recs []RunRecord) (map[int]map[string]float64, error) {
-	base := map[int]float64{}
-	for _, r := range recs {
-		if r.Model == Naive {
-			base[r.Records] = float64(r.Result.Cycles)
-		}
-	}
-	out := map[int]map[string]float64{}
-	for _, r := range recs {
-		b := base[r.Records]
-		if b == 0 {
-			return nil, fmt.Errorf("normalize: no Naive baseline for records=%d (sweep must include a successful Naive point)", r.Records)
-		}
-		if out[r.Records] == nil {
-			out[r.Records] = map[string]float64{}
-		}
-		out[r.Records][r.Model.String()] = float64(r.Result.Cycles) / b
-	}
-	return out, nil
-}
-
-func scopesOf(recs []RunRecord, records int) int {
-	for _, r := range recs {
-		if r.Records == records {
-			return r.Scopes
-		}
-	}
-	return 0
-}
-
-// Fig3 reproduces Fig. 3: Naive vs Uncacheable vs SW-Flush run time
-// (normalized to Naive) over the record-count sweep.
-func Fig3(opts Options) (*Series, error) {
-	recs, err := YCSBSweep(opts, fig3Variants, nil)
-	if err != nil {
-		return nil, err
-	}
-	s := report.NewSeries("Fig3", "records", "run time / naive", variantNames(fig3Variants))
-	norm, err := normalizeToNaive(recs)
-	if err != nil {
-		return nil, err
-	}
-	for _, records := range opts.ycsbRecordCounts() {
-		s.AddPoint(float64(records), norm[records])
-	}
-	return s, nil
-}
-
-// YCSBFigures bundles the series Figs. 7 and 10 share.
-type YCSBFigures struct {
-	Abs          *Series // Fig. 7a: absolute run time (seconds)
-	Norm         *Series // Fig. 7b: run time normalized to Naive
-	BufLen       *Series // Fig. 10a: mean PIM buffer length on arrival
-	UniqueScopes *Series // Fig. 10b: mean unique scopes in PIM buffer
-	ScanLatency  *Series // Fig. 10c: mean LLC scan latency (cycles)
-	SkipRatio    *Series // Fig. 10d: SBV mean skipped-set ratio
-}
-
-// buildYCSBFigures derives all YCSB series from one sweep, X = scope count.
-func buildYCSBFigures(opts Options, prefix string, recs []RunRecord) (*YCSBFigures, error) {
-	names := variantNames(fig7Variants)
-	f := &YCSBFigures{
-		Abs:          report.NewSeries(prefix+"a", "scopes", "run time [s]", names),
-		Norm:         report.NewSeries(prefix+"b", "scopes", "run time / naive", names),
-		BufLen:       report.NewSeries(prefix+"-10a", "scopes", "mean PIM buffer len", names),
-		UniqueScopes: report.NewSeries(prefix+"-10b", "scopes", "mean unique scopes", names),
-		ScanLatency:  report.NewSeries(prefix+"-10c", "scopes", "mean LLC scan latency", names),
-		SkipRatio:    report.NewSeries(prefix+"-10d", "scopes", "SBV skip ratio", names),
-	}
-	norm, err := normalizeToNaive(recs)
-	if err != nil {
-		return nil, err
-	}
-	for _, records := range opts.ycsbRecordCounts() {
-		x := float64(scopesOf(recs, records))
-		abs := map[string]float64{}
-		buf := map[string]float64{}
-		uniq := map[string]float64{}
-		scan := map[string]float64{}
-		skip := map[string]float64{}
-		for _, r := range recs {
-			if r.Records != records {
-				continue
-			}
-			name := r.Model.String()
-			abs[name] = r.Result.Seconds
-			buf[name] = r.Result.Stats["pim.buffer_len_mean"]
-			uniq[name] = r.Result.Stats["pim.unique_scopes_mean"]
-			scan[name] = r.Result.Stats["llc.scan_latency_mean"]
-			skip[name] = r.Result.Stats["llc.sbv_skip_ratio"]
-		}
-		f.Abs.AddPoint(x, abs)
-		f.Norm.AddPoint(x, norm[records])
-		f.BufLen.AddPoint(x, buf)
-		f.UniqueScopes.AddPoint(x, uniq)
-		f.ScanLatency.AddPoint(x, scan)
-		f.SkipRatio.AddPoint(x, skip)
-	}
-	return f, nil
-}
-
-// Fig7 reproduces Fig. 7 (run times) and Fig. 10 (system statistics) from
-// one YCSB sweep over all six variants.
-func Fig7(opts Options) (*YCSBFigures, error) {
-	recs, err := YCSBSweep(opts, fig7Variants, nil)
-	if err != nil {
-		return nil, err
-	}
-	return buildYCSBFigures(opts, "Fig7", recs)
-}
-
-// Fig11a: unbounded PIM module buffer. The extra "basic-naive" series is
-// the bounded-buffer Naive baseline the paper includes for reference.
-func Fig11a(opts Options) (*Series, error) {
-	return figWithModifiedConfig(opts, "Fig11a", func(cfg *Config) { cfg.PIMBufferSize = 0 })
-}
-
-// Fig11b: zero PIM logic execution time.
-func Fig11b(opts Options) (*Series, error) {
-	return figWithModifiedConfig(opts, "Fig11b", func(cfg *Config) { cfg.PIMZeroLatency = true })
-}
-
-func figWithModifiedConfig(opts Options, name string, modify func(*Config)) (*Series, error) {
-	recs, err := YCSBSweepNamed(opts, strings.ToLower(name), fig7Variants, modify)
-	if err != nil {
-		return nil, err
-	}
-	baseNaive, err := YCSBSweep(opts, []Model{Naive}, nil)
-	if err != nil {
-		return nil, err
-	}
-	names := append(variantNames(fig7Variants), "basic-naive")
-	s := report.NewSeries(name, "scopes", "run time / naive", names)
-	norm, err := normalizeToNaive(recs)
-	if err != nil {
-		return nil, err
-	}
-	for _, records := range opts.ycsbRecordCounts() {
-		vals := norm[records]
-		var naiveCycles float64
-		for _, r := range recs {
-			if r.Records == records && r.Model == Naive {
-				naiveCycles = float64(r.Result.Cycles)
-			}
-		}
-		for _, r := range baseNaive {
-			if r.Records == records {
-				vals["basic-naive"] = float64(r.Result.Cycles) / naiveCycles
-			}
-		}
-		s.AddPoint(float64(scopesOf(recs, records)), vals)
-	}
-	return s, nil
-}
-
-// Fig12 reproduces the 8MB-LLC experiment: run time plus the scan-latency
-// and SBV statistics (Fig. 12a-c).
-func Fig12(opts Options) (*YCSBFigures, error) {
-	recs, err := YCSBSweepNamed(opts, "fig12", fig7Variants, func(cfg *Config) {
-		cfg.LLCSets = 8192 // 8MB, 16-way, 64B lines
-	})
-	if err != nil {
-		return nil, err
-	}
-	return buildYCSBFigures(opts, "Fig12", recs)
-}
-
-// Fig13 reproduces the 8-thread / 16-core experiment.
-func Fig13(opts Options) (*Series, error) {
-	recs, err := ycsbSweep(opts, "fig13", fig7Variants,
-		func(p *ycsb.Params) { p.Threads = 8 },
-		func(cfg *Config) { cfg.Cores = 16 })
-	if err != nil {
-		return nil, err
-	}
-	s := report.NewSeries("Fig13", "scopes", "run time / naive", variantNames(fig7Variants))
-	norm, err := normalizeToNaive(recs)
-	if err != nil {
-		return nil, err
-	}
-	for _, records := range opts.ycsbRecordCounts() {
-		s.AddPoint(float64(scopesOf(recs, records)), norm[records])
-	}
-	return s, nil
-}
-
-// TPCHRun is one query under one model.
-type TPCHRun struct {
-	Query  string
-	Model  Model
-	Result Result
-}
-
-// TPCHSweep runs every Table IV query under the given models, one job
-// per (query, model) point. Each query's workload is prepared once and
-// shared read-only across its model variants.
-func TPCHSweep(opts Options, models []Model) ([]TPCHRun, error) {
-	type point struct {
-		w     *tpch.Workload
-		query string
-		model Model
-	}
-	var points []point
-	var specs []runner.SimJob
-	for _, q := range tpch.Queries() {
-		w := tpch.NewWorkload(q, 4, opts.tpchScale(), false)
-		extra := tpchIdentity(q, 4, opts.tpchScale(), false)
-		for _, m := range models {
-			pt := point{w: w, query: q.Name, model: m}
-			points = append(points, pt)
-			specs = append(specs, runner.SimJob{
-				Key:     fmt.Sprintf("tpch/%s/model=%s", q.Name, m),
-				Base:    DefaultConfig(),
-				Mutate:  func(cfg *Config) { cfg.Model = pt.model },
-				Execute: func(cfg Config) (Result, error) { return tpch.Run(pt.w, cfg) },
-				Extra:   extra,
-			})
-		}
-	}
-	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
-	opts.log("tpch sweep: %s", runner.Summarize(results))
-	var out []TPCHRun
-	for i, r := range results {
-		if r.Err != nil {
-			continue
-		}
-		out = append(out, TPCHRun{Query: points[i].query, Model: points[i].model, Result: r.Value})
-	}
-	return out, collectErrs(results)
-}
-
-// Fig8 reproduces Fig. 8: per-query run time normalized to Naive, with the
-// geometric mean, and Fig. 9's scope buffer hit rates from the same runs.
-func Fig8Fig9(opts Options) (fig8, fig9 *Table, err error) {
-	models := fig7Variants
-	runs, err := TPCHSweep(opts, models)
-	if err != nil {
-		return nil, nil, err
-	}
-	byQuery := map[string]map[string]float64{}
-	hit := map[string]map[string]float64{}
-	for _, r := range runs {
-		if byQuery[r.Query] == nil {
-			byQuery[r.Query] = map[string]float64{}
-			hit[r.Query] = map[string]float64{}
-		}
-		byQuery[r.Query][r.Model.String()] = float64(r.Result.Cycles)
-		hit[r.Query][r.Model.String()] = r.Result.Stats["llc.sb_hit_rate"]
-	}
-
-	fig8 = &Table{Title: "Fig8 — TPC-H run time normalized to Naive"}
-	fig8.Header = append([]string{"query"}, variantNames(models[1:])...)
-	geo := map[string][]float64{}
-	for _, q := range tpch.Queries() {
-		row := []string{q.Name}
-		naive := byQuery[q.Name][Naive.String()]
-		if naive == 0 {
-			return nil, nil, fmt.Errorf("fig8: no Naive baseline for %s", q.Name)
-		}
-		for _, m := range models[1:] {
-			v := byQuery[q.Name][m.String()] / naive
-			geo[m.String()] = append(geo[m.String()], v)
-			row = append(row, report.F(v))
-		}
-		fig8.AddRow(row...)
-	}
-	row := []string{"geomean"}
-	for _, m := range models[1:] {
-		row = append(row, report.F(report.GeoMean(geo[m.String()])))
-	}
-	fig8.AddRow(row...)
-
-	fig9 = &Table{Title: "Fig9 — scope buffer hit rate"}
-	proposed := []Model{Atomic, Store, Scope, ScopeRelaxed}
-	fig9.Header = append([]string{"query"}, variantNames(proposed)...)
-	for _, q := range tpch.Queries() {
-		row := []string{q.Name}
-		for _, m := range proposed {
-			row = append(row, report.F(hit[q.Name][m.String()]))
-		}
-		fig9.AddRow(row...)
-	}
-	return fig8, fig9, nil
-}
-
-// Fig9YCSB adds the YCSB column of Fig. 9 (scope buffer hit rate).
-func Fig9YCSB(opts Options) (*Table, error) {
-	p := ycsb.DefaultParams(opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1])
-	p.Operations = opts.ycsbOps()
-	p.Seed = opts.seed()
-	w := ycsb.New(p)
-	w.Precompute()
-	models := ProposedModels()
-	specs := make([]runner.SimJob, len(models))
-	for i, m := range models {
-		m := m
-		specs[i] = runner.SimJob{
-			Key:     fmt.Sprintf("fig9-ycsb/model=%s", m),
-			Base:    DefaultConfig(),
-			Mutate:  func(cfg *Config) { cfg.Model = m },
-			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
-			Extra:   ycsbIdentity(p),
-		}
-	}
-	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
-	if err := collectErrs(results); err != nil {
-		return nil, err
-	}
-	t := &Table{Title: "Fig9 (YCSB) — scope buffer hit rate", Header: []string{"model", "hit rate"}}
-	for i, r := range results {
-		t.AddRow(models[i].String(), report.F(r.Value.Stats["llc.sb_hit_rate"]))
-	}
-	return t, nil
-}
-
-// Fig1Table runs the litmus sweep for every variant and tabulates the
-// verdicts (§I / Fig. 1).
-func Fig1Table(opts Options) (*Table, error) {
-	t := &Table{Title: "Fig1 — litmus: stale read / happens-before cycle under adversarial prefetch",
-		Header: []string{"model", "stale read", "hb cycle", "guaranteed correct"}}
-	models := []Model{Naive, SWFlush, Atomic, Store, Scope, ScopeRelaxed}
-	jobs := make([]runner.Job[[]LitmusOutcome], len(models))
-	for i, m := range models {
-		m := m
-		jobs[i] = runner.Job[[]LitmusOutcome]{
-			Key: fmt.Sprintf("fig1/model=%s", m),
-			Run: func() ([]LitmusOutcome, error) { return SweepFig1(m, LitmusDefaultSweep()) },
-		}
-	}
-	results := runner.RunJobs(jobs, runner.Options[[]LitmusOutcome]{
-		Parallelism: opts.Parallelism,
-		Pool:        opts.pool,
-		OnResult: func(done, total int, r runner.JobResult[[]LitmusOutcome]) {
-			opts.log("[%d/%d] %s wall=%s", done, total, r.Key, r.Wall.Round(time.Millisecond))
-		},
-	})
-	for i, r := range results {
-		if r.Err != nil {
-			return nil, fmt.Errorf("%s: %w", r.Key, r.Err)
-		}
-		outs := r.Value
-		stale, cycle := LitmusVulnerable(outs)
-		incomplete := false
-		for _, o := range outs {
-			if !o.Completed {
-				incomplete = true
-			}
-		}
-		verdict := "yes"
-		if stale || cycle || incomplete {
-			verdict = "NO"
-		}
-		staleS := fmt.Sprintf("%v", stale)
-		if incomplete {
-			staleS += " (stuck reads)"
-		}
-		t.AddRow(models[i].String(), staleS, fmt.Sprintf("%v", cycle), verdict)
-		opts.log("fig1 %s stale=%v cycle=%v", models[i], stale, cycle)
-	}
-	return t, nil
-}
-
-// TableITable renders the paper's Table I.
-func TableITable() *Table {
-	t := &Table{Title: "Table I — consistency model definitions and implementations",
-		Header: []string{"model", "PIM op allowed reordering", "additional fence", "scope buffer & SBV"}}
-	for _, d := range core.TableI() {
-		t.AddRow(d.Model.String(), d.AllowedReorder, d.AdditionalFences, d.Structures)
-	}
-	return t
-}
-
-// TableIITable renders the evaluation system configuration.
-func TableIITable() *Table {
-	cfg := DefaultConfig()
-	t := &Table{Title: "Table II — architecture and system configuration",
-		Header: []string{"component", "value"}}
-	t.AddRow("cores", fmt.Sprintf("%d, x86-TSO commit-order, %.1fGHz", cfg.Cores, cfg.ClockGHz))
-	t.AddRow("L1", fmt.Sprintf("private, %dKB, 64B lines, %d-way, %d-cycle hit",
-		cfg.L1Sets*cfg.L1Ways*64/1024, cfg.L1Ways, cfg.L1HitLatency))
-	t.AddRow("LLC", fmt.Sprintf("shared, %dMB, 64B lines, %d-way, %d-cycle hit, inclusive MESI",
-		cfg.LLCSets*cfg.LLCWays*64/(1<<20), cfg.LLCWays, cfg.LLCHitLatency))
-	t.AddRow("L1 scope buffer", fmt.Sprintf("%d sets, %d-way (scope-relaxed only)", cfg.L1ScopeBufSets, cfg.L1ScopeBufWays))
-	t.AddRow("L2 scope buffer", fmt.Sprintf("%d sets, %d-way", cfg.LLCScopeBufSets, cfg.LLCScopeBufWays))
-	t.AddRow("main memory", fmt.Sprintf("%d-cycle DRAM, %d banks", cfg.DRAMLatency, cfg.Banks))
-	t.AddRow("PIM module", fmt.Sprintf("1 (spec as in [25]), buffer %d ops, %d cycles/micro-op",
-		cfg.PIMBufferSize, cfg.PIMCyclesPerMicroOp))
-	t.AddRow("scope", "2MB huge page")
-	t.AddRow("max records/scope", fmt.Sprintf("%d", DefaultLayout().RecordsPerScope()))
-	return t
-}
-
-// TableIIITable renders the YCSB workload summary.
-func TableIIITable() *Table {
-	p := ycsb.DefaultParams(1_000_000)
-	t := &Table{Title: "Table III — YCSB workload summary", Header: []string{"parameter", "value"}}
-	t.AddRow("operations", fmt.Sprintf("%d", p.Operations))
-	t.AddRow("scan fraction", fmt.Sprintf("%.0f%%", p.ScanFraction*100))
-	t.AddRow("insert fraction", fmt.Sprintf("%.0f%%", (1-p.ScanFraction)*100))
-	t.AddRow("fields per record", fmt.Sprintf("%d", p.Fields))
-	t.AddRow("field length", fmt.Sprintf("%dB", p.FieldBytes))
-	t.AddRow("records in scan results", fmt.Sprintf("uniform [1,%d]", p.MaxScanRecords))
-	t.AddRow("scan base record", fmt.Sprintf("zipfian (theta=%.2f)", p.ZipfTheta))
-	return t
-}
-
-// TableIVTable renders the TPC-H query summary.
-func TableIVTable() *Table {
-	t := &Table{Title: "Table IV — TPC-H query summary",
-		Header: []string{"query", "scopes", "PIM section", "terms", "ops/scope"}}
-	for _, q := range tpch.Queries() {
-		section := "Filter only"
-		if q.Full {
-			section = "Full-query"
-		}
-		t.AddRow(q.Name, fmt.Sprintf("%d", q.Scopes), section,
-			fmt.Sprintf("%d", len(q.Terms)), fmt.Sprintf("%d", q.OpsPerScope()))
-	}
-	return t
-}
-
-// AreaTable renders the §VI-A hardware-overhead estimate.
-func AreaTable() *Table {
-	rep := EstimateArea()
-	t := &Table{Title: "Hardware overhead — scope buffer + SBV (paper: 0.092% / 0.22%)",
-		Header: []string{"configuration", "raw bit ratio", "calibrated area"}}
-	t.AddRow("LLC only (atomic/store/scope)",
-		fmt.Sprintf("%.4f%%", rep.LLCOnlyRawPct), fmt.Sprintf("%.3f%%", rep.LLCOnlyCalibratedPct))
-	t.AddRow("all caches (scope-relaxed)",
-		fmt.Sprintf("%.4f%%", rep.AllCachesRawPct), fmt.Sprintf("%.3f%%", rep.AllCachesCalibratedPct))
-	return t
-}
-
-// lastRecordsWorkload generates the sweep's largest YCSB workload,
-// frozen for read-only sharing across a job batch, plus its cache
-// identity string.
-func lastRecordsWorkload(opts Options) (*ycsb.Workload, string) {
-	records := opts.ycsbRecordCounts()[len(opts.ycsbRecordCounts())-1]
-	p := ycsb.DefaultParams(records)
-	p.Operations = opts.ycsbOps()
-	p.Seed = opts.seed()
-	w := ycsb.New(p)
-	w.Precompute()
-	return w, ycsbIdentity(p)
-}
-
-// AblationTable quantifies the coherence hardware of §IV: the scope buffer
-// (avoids repeat scans) and the SBV (skips untouched sets). Without the
-// SBV a scan pays one cycle per LLC set; without the scope buffer every
-// PIM op scans.
-func AblationTable(opts Options) (*Table, error) {
-	w, extra := lastRecordsWorkload(opts)
-
-	type variant struct {
-		name        string
-		noSB, noSBV bool
-	}
-	variants := []variant{
-		{"scope buffer + SBV (paper)", false, false},
-		{"no scope buffer", true, false},
-		{"no SBV", false, true},
-		{"neither", true, true},
-	}
-	specs := make([]runner.SimJob, len(variants))
-	for i, v := range variants {
-		v := v
-		specs[i] = runner.SimJob{
-			Key:  "ablation/" + v.name,
-			Base: DefaultConfig(),
-			Mutate: func(cfg *Config) {
-				cfg.Model = Scope
-				cfg.NoScopeBuffer = v.noSB
-				cfg.NoSBV = v.noSBV
-			},
-			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
-			Extra:   extra,
-		}
-	}
-	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
-	if err := collectErrs(results); err != nil {
-		return nil, err
-	}
-	t := &Table{Title: fmt.Sprintf("Ablation — §IV coherence hardware (YCSB, %d scopes, scope model)", w.Scopes),
-		Header: []string{"configuration", "run time norm", "mean scan latency", "scans", "sb hit rate"}}
-	base := float64(results[0].Value.Cycles)
-	for i, r := range results {
-		t.AddRow(variants[i].name,
-			report.F(float64(r.Value.Cycles)/base),
-			report.F(r.Value.Stats["llc.scan_latency_mean"]),
-			report.F(r.Value.Stats["llc.scan_count"]),
-			report.F(r.Value.Stats["llc.sb_hit_rate"]))
-	}
-	return t, nil
-}
-
-// ScopeBufferSizingTable reproduces the §IV-A sizing claim: "even a
-// small-sized scope buffer is sufficient to achieve close to the maximum
-// possible hit rate".
-func ScopeBufferSizingTable(opts Options) (*Table, error) {
-	w, extra := lastRecordsWorkload(opts)
-
-	geoms := []struct{ sets, ways int }{{1, 1}, {4, 1}, {16, 1}, {64, 1}, {64, 4}}
-	specs := make([]runner.SimJob, len(geoms))
-	for i, g := range geoms {
-		g := g
-		specs[i] = runner.SimJob{
-			Key:  fmt.Sprintf("sbsize/%dx%d", g.sets, g.ways),
-			Base: DefaultConfig(),
-			Mutate: func(cfg *Config) {
-				cfg.Model = Scope
-				cfg.LLCScopeBufSets, cfg.LLCScopeBufWays = g.sets, g.ways
-			},
-			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
-			Extra:   extra,
-		}
-	}
-	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
-	if err := collectErrs(results); err != nil {
-		return nil, err
-	}
-	t := &Table{Title: fmt.Sprintf("Scope buffer sizing (YCSB, %d scopes, scope model)", w.Scopes),
-		Header: []string{"geometry", "entries", "hit rate", "run time norm"}}
-	// Normalize against the largest geometry (the last point).
-	base := float64(results[len(results)-1].Value.Cycles)
-	for i, r := range results {
-		g := geoms[i]
-		t.AddRow(fmt.Sprintf("%d sets x %d ways", g.sets, g.ways),
-			fmt.Sprintf("%d", g.sets*g.ways),
-			report.F(r.Value.Stats["llc.sb_hit_rate"]),
-			report.F(float64(r.Value.Cycles)/base))
-	}
-	return t, nil
-}
-
-// MultiModuleTable is an extension experiment: scopes distributed over N
-// PIM modules ("different PIM modules ... connect to the same host",
-// §II-A). More modules add module-level buffering and arrival bandwidth.
-func MultiModuleTable(opts Options) (*Table, error) {
-	w, extra := lastRecordsWorkload(opts)
-	counts := []int{1, 2, 4}
-	specs := make([]runner.SimJob, len(counts))
-	for i, n := range counts {
-		n := n
-		specs[i] = runner.SimJob{
-			Key:  fmt.Sprintf("multimod/n=%d", n),
-			Base: DefaultConfig(),
-			Mutate: func(cfg *Config) {
-				cfg.Model = Scope
-				cfg.PIMModules = n
-			},
-			Execute: func(cfg Config) (Result, error) { return ycsb.Run(w, cfg) },
-			Extra:   extra,
-		}
-	}
-	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
-	if err := collectErrs(results); err != nil {
-		return nil, err
-	}
-	t := &Table{Title: fmt.Sprintf("Extension — multiple PIM modules (YCSB, %d scopes, scope model)", w.Scopes),
-		Header: []string{"modules", "run time norm", "mean buffer len", "peak buffer"}}
-	base := float64(results[0].Value.Cycles)
-	for i, r := range results {
-		t.AddRow(fmt.Sprintf("%d", counts[i]),
-			report.F(float64(r.Value.Cycles)/base),
-			report.F(r.Value.Stats["pim.buffer_len_mean"]),
-			report.F(r.Value.Stats["pim.peak_buffer"]))
-	}
-	return t, nil
-}
-
-// Experiments lists the regenerable artifacts.
-func Experiments() []string {
-	return []string{"fig1", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11a",
-		"fig11b", "fig12", "fig13", "table1", "table2", "table3", "table4",
-		"area", "ablation", "sbsize", "multimod", "all"}
-}
-
-// StandaloneExperiments returns Experiments() minus "all" and the
-// entries bundled with another experiment's sweep (fig10 with fig7,
-// fig9 with fig8): the canonical iteration list for an "all" run.
-func StandaloneExperiments() []string {
-	var out []string
-	for _, e := range Experiments() {
-		if e == "all" || e == "fig10" || e == "fig9" {
-			continue
-		}
-		out = append(out, e)
-	}
-	return out
+// lastRecordsParams returns the parameter set of the sweep's largest
+// YCSB workload — the database the ablation, sizing, multi-module and
+// Fig. 9 YCSB batches all run against.
+func (o Options) lastRecordsParams() ycsb.Params {
+	counts := o.ycsbRecordCounts()
+	return o.ycsbParams(counts[len(counts)-1], nil)
 }
 
 // ExperimentTiming is one experiment's wall-clock accounting inside a
@@ -917,188 +231,4 @@ func TimingFooter(timings []ExperimentTiming) string {
 	}
 	fmt.Fprintf(&b, " total=%s", total.Round(time.Millisecond))
 	return b.String()
-}
-
-// RunAll executes every standalone experiment, handing each name and
-// printable report to emit in the canonical StandaloneExperiments
-// order. Experiments run concurrently — at most opts.Parallelism (or
-// GOMAXPROCS) at a time, so workload generation cannot oversubscribe
-// the machine the same cap the pool enforces for simulation — and
-// enqueue their simulation jobs onto one shared worker pool, so the
-// whole suite is bounded by its slowest single point rather than the
-// sum of per-experiment tails. Per-experiment result demultiplexing
-// keeps every report byte-identical to a serial run, and a shared
-// in-flight dedup computes grid points that several experiments
-// overlap on (the Naive baselines) only once. Per-experiment timing is
-// collected unconditionally and returned; timed, when non-nil,
-// additionally observes each experiment as it finishes (in emission
-// order). A failed experiment is reported against its name without
-// aborting the others. RunAll is the single "all" orchestration shared
-// by RunExperiment("all") and cmd/pimbench.
-func RunAll(opts Options, emit func(name, report string), timed func(name string, d time.Duration)) ([]ExperimentTiming, error) {
-	names := StandaloneExperiments()
-	pool := runner.NewPool(opts.Parallelism)
-	defer pool.Close()
-	opts.pool = pool
-	opts.flight = runner.NewFlight[Result]()
-	if inner := opts.Log; inner != nil {
-		// Experiments log concurrently; serialize so callers' Log (and
-		// pimbench's -v writer) need not be goroutine-safe.
-		var logMu sync.Mutex
-		opts.Log = func(format string, args ...interface{}) {
-			logMu.Lock()
-			defer logMu.Unlock()
-			inner(format, args...)
-		}
-	}
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, par)
-
-	type outcome struct {
-		report string
-		err    error
-		wall   time.Duration
-	}
-	outs := make([]outcome, len(names))
-	ready := make([]chan struct{}, len(names))
-	for i := range ready {
-		ready[i] = make(chan struct{})
-	}
-	for i, name := range names {
-		go func(i int, name string) {
-			defer close(ready[i])
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			rep, err := RunExperiment(name, opts)
-			outs[i] = outcome{report: rep, err: err, wall: time.Since(start)}
-		}(i, name)
-	}
-
-	timings := make([]ExperimentTiming, 0, len(names))
-	var errs []error
-	for i, name := range names {
-		<-ready[i]
-		timings = append(timings, ExperimentTiming{Name: name, Wall: outs[i].wall})
-		if timed != nil {
-			timed(name, outs[i].wall)
-		} else {
-			opts.log("%s finished in %s", name, outs[i].wall.Round(time.Millisecond))
-		}
-		if outs[i].err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", name, outs[i].err))
-			continue
-		}
-		emit(name, outs[i].report)
-	}
-	return timings, errors.Join(errs...)
-}
-
-// RunExperiment dispatches by name and returns the printable report.
-func RunExperiment(name string, opts Options) (string, error) {
-	var b strings.Builder
-	emit := func(items ...fmt.Stringer) {
-		for _, it := range items {
-			b.WriteString(it.String())
-			b.WriteByte('\n')
-		}
-	}
-	switch strings.ToLower(name) {
-	case "fig1":
-		t, err := Fig1Table(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(t)
-	case "fig3":
-		s, err := Fig3(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(s)
-	case "fig7", "fig10":
-		f, err := Fig7(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(f.Abs, f.Norm, f.BufLen, f.UniqueScopes, f.ScanLatency, f.SkipRatio)
-	case "fig8", "fig9":
-		f8, f9, err := Fig8Fig9(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(f8, f9)
-		y, err := Fig9YCSB(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(y)
-	case "fig11a":
-		s, err := Fig11a(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(s)
-	case "fig11b":
-		s, err := Fig11b(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(s)
-	case "fig12":
-		f, err := Fig12(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(f.Norm, f.ScanLatency, f.SkipRatio)
-	case "fig13":
-		s, err := Fig13(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(s)
-	case "table1":
-		emit(TableITable())
-	case "table2":
-		emit(TableIITable())
-	case "table3":
-		emit(TableIIITable())
-	case "table4":
-		emit(TableIVTable())
-	case "area":
-		emit(AreaTable())
-	case "ablation":
-		t, err := AblationTable(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(t)
-	case "sbsize":
-		t, err := ScopeBufferSizingTable(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(t)
-	case "multimod":
-		t, err := MultiModuleTable(opts)
-		if err != nil {
-			return "", err
-		}
-		emit(t)
-	case "all":
-		// The timing footer is intentionally not embedded in the report:
-		// wall times vary run to run, and the report must stay
-		// byte-identical across cold, warm and parallel runs.
-		if _, err := RunAll(opts, func(name, report string) {
-			fmt.Fprintf(&b, "==== %s ====\n%s\n", name, report)
-		}, nil); err != nil {
-			return b.String(), err
-		}
-	default:
-		return "", fmt.Errorf("unknown experiment %q (have %v)", name, Experiments())
-	}
-	return b.String(), nil
 }

@@ -1,0 +1,215 @@
+package resultcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The distributed pipeline ships per-shard cache files back to a
+// coordinator, which merges them into one store and then runs the
+// report pass entirely from cache hits. Unlike Open's load — which is
+// deliberately tolerant, because a truncated line is the normal
+// residue of an interrupted run — merging is a deliberate act on
+// supposedly-complete files, so Validate and Merge are strict: a
+// corrupt line, a foreign schema version, or two shards disagreeing on
+// the result of the same (key, fingerprint) identity is an error that
+// names the file and line, never a silent drop.
+
+// Strict-read failure modes, matchable with errors.Is.
+var (
+	// ErrCorrupt marks an unparsable or incomplete entry line.
+	ErrCorrupt = errors.New("corrupt entry")
+	// ErrSchemaVersion marks an entry written under a different
+	// SchemaVersion than this binary's.
+	ErrSchemaVersion = errors.New("schema version mismatch")
+	// ErrResultConflict marks two entries that share a (key,
+	// fingerprint) identity but carry different results — impossible
+	// for shards of one deterministic suite, so it signals mismatched
+	// runs or corrupted data.
+	ErrResultConflict = errors.New("conflicting results for one (key, fingerprint)")
+)
+
+// FileStats summarizes one validated cache file.
+type FileStats struct {
+	Path    string
+	Entries int // non-empty entry lines
+	Unique  int // distinct (key, fingerprint) identities
+}
+
+func (s FileStats) String() string {
+	return fmt.Sprintf("%s: %d entries, %d unique points", s.Path, s.Entries, s.Unique)
+}
+
+// MergeStats summarizes a merge.
+type MergeStats struct {
+	Files      int
+	Entries    int // entry lines read across all sources
+	Unique     int // distinct (key, fingerprint) identities written
+	Duplicates int // identical re-occurrences dropped (overlapping shards, re-runs)
+}
+
+func (s MergeStats) String() string {
+	return fmt.Sprintf("%d files, %d entries -> %d unique points (%d duplicates dropped)",
+		s.Files, s.Entries, s.Unique, s.Duplicates)
+}
+
+// resolve accepts either a cache directory or a direct path to its
+// JSON-lines file.
+func resolve(path string) string {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return filepath.Join(path, FileName)
+	}
+	return path
+}
+
+// strictEntry pairs a parsed entry with its re-marshaled result bytes
+// (canonical JSON: struct fields in order, map keys sorted), used to
+// detect result conflicts across files.
+type strictEntry struct {
+	entry
+	line   int
+	result []byte
+}
+
+// readStrict parses every line of one cache file, failing loudly —
+// with the file and line number — on anything Open's tolerant load
+// would skip.
+func readStrict(path string) ([]strictEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	defer f.Close()
+	var out []strictEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("resultcache: %s:%d: %w: %v", path, n, ErrCorrupt, err)
+		}
+		if e.Key == "" {
+			return nil, fmt.Errorf("resultcache: %s:%d: %w: entry without a key", path, n, ErrCorrupt)
+		}
+		if e.Version != SchemaVersion {
+			return nil, fmt.Errorf("resultcache: %s:%d: %w: file has %q, this binary uses %q",
+				path, n, ErrSchemaVersion, e.Version, SchemaVersion)
+		}
+		res, err := json.Marshal(e.Result)
+		if err != nil {
+			return nil, fmt.Errorf("resultcache: %s:%d: %w: %v", path, n, ErrCorrupt, err)
+		}
+		out = append(out, strictEntry{entry: e, line: n, result: res})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("resultcache: %s: %w: %v", path, ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// Validate strictly checks one cache file (a directory resolves to its
+// results.jsonl): every line must parse, carry the current
+// SchemaVersion, and agree with its twins on any repeated (key,
+// fingerprint) identity. It returns the file's accounting.
+func Validate(path string) (FileStats, error) {
+	path = resolve(path)
+	entries, err := readStrict(path)
+	if err != nil {
+		return FileStats{Path: path}, err
+	}
+	seen := map[string][]byte{}
+	for _, e := range entries {
+		id := composite(e.Key, e.Fingerprint)
+		if prev, ok := seen[id]; ok {
+			if !bytes.Equal(prev, e.result) {
+				return FileStats{Path: path}, fmt.Errorf("resultcache: %s:%d: %w: key %q",
+					path, e.line, ErrResultConflict, e.Key)
+			}
+			continue
+		}
+		seen[id] = e.result
+	}
+	return FileStats{Path: path, Entries: len(entries), Unique: len(seen)}, nil
+}
+
+// Merge validates every source cache (directories resolve to their
+// results.jsonl) and writes their union to dstDir/results.jsonl,
+// replacing any existing file there. Entries are written in source
+// order with exact duplicates dropped, so the output is deterministic
+// for a given source list. Two sources disagreeing on a (key,
+// fingerprint) identity's result abort the merge with
+// ErrResultConflict — the simulations are deterministic, so shards of
+// one suite can never disagree; a conflict means the shards ran
+// different code or the data is damaged. All sources are read before
+// anything is written, so dstDir may itself be one of the sources.
+func Merge(dstDir string, srcs ...string) (MergeStats, error) {
+	var stats MergeStats
+	if len(srcs) == 0 {
+		return stats, fmt.Errorf("resultcache: merge needs at least one source")
+	}
+	seen := map[string][]byte{}
+	var merged []strictEntry
+	for _, src := range srcs {
+		path := resolve(src)
+		entries, err := readStrict(path)
+		if err != nil {
+			return stats, err
+		}
+		stats.Files++
+		stats.Entries += len(entries)
+		for _, e := range entries {
+			id := composite(e.Key, e.Fingerprint)
+			if prev, ok := seen[id]; ok {
+				if !bytes.Equal(prev, e.result) {
+					return stats, fmt.Errorf("resultcache: %s:%d: %w: key %q",
+						path, e.line, ErrResultConflict, e.Key)
+				}
+				stats.Duplicates++
+				continue
+			}
+			seen[id] = e.result
+			merged = append(merged, e)
+		}
+	}
+	stats.Unique = len(merged)
+
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return stats, fmt.Errorf("resultcache: %w", err)
+	}
+	dst := filepath.Join(dstDir, FileName)
+	tmp, err := os.CreateTemp(dstDir, FileName+".merge-*")
+	if err != nil {
+		return stats, fmt.Errorf("resultcache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	for _, e := range merged {
+		line, err := json.Marshal(e.entry)
+		if err != nil {
+			tmp.Close()
+			return stats, fmt.Errorf("resultcache: marshal %s: %w", e.Key, err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return stats, fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return stats, fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return stats, fmt.Errorf("resultcache: %w", err)
+	}
+	return stats, nil
+}

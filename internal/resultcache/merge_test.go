@@ -1,0 +1,168 @@
+package resultcache
+
+// Tests for the strict merge/validate half of the cache: shards of a
+// distributed run ship results.jsonl files back to a coordinator,
+// whose merge must concatenate them deterministically, drop exact
+// duplicates, and reject — loudly, with file and line — everything the
+// tolerant load path would silently skip.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bulkpim/internal/sim"
+	"bulkpim/internal/system"
+)
+
+// fillCache stores the given key -> cycles points under dir.
+func fillCache(t *testing.T, dir string, points map[string]int) {
+	t.Helper()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for key, cycles := range points {
+		r := system.Result{Cycles: sim.Tick(cycles), Stats: map[string]float64{"s": float64(cycles)}}
+		if err := c.Store(key, "fp-"+key, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMergeUnionAndDedup(t *testing.T) {
+	d0, d1, dst := t.TempDir(), t.TempDir(), t.TempDir()
+	fillCache(t, d0, map[string]int{"a": 1, "b": 2, "shared": 7})
+	fillCache(t, d1, map[string]int{"c": 3, "shared": 7})
+
+	stats, err := Merge(dst, d0, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 2 || stats.Entries != 5 || stats.Unique != 4 || stats.Duplicates != 1 {
+		t.Fatalf("merge stats %+v", stats)
+	}
+
+	merged, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if merged.Len() != 4 {
+		t.Fatalf("merged cache has %d entries, want 4", merged.Len())
+	}
+	for key, cycles := range map[string]int{"a": 1, "b": 2, "c": 3, "shared": 7} {
+		r, ok := merged.Lookup(key, "fp-"+key)
+		if !ok || int(r.Cycles) != cycles {
+			t.Fatalf("merged lookup %s = %+v, %v", key, r, ok)
+		}
+	}
+}
+
+func TestMergeDeterministicOutput(t *testing.T) {
+	d0, d1 := t.TempDir(), t.TempDir()
+	fillCache(t, d0, map[string]int{"a": 1, "b": 2})
+	fillCache(t, d1, map[string]int{"c": 3})
+
+	read := func(dst string) string {
+		if _, err := Merge(dst, d0, d1); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dst, FileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if read(t.TempDir()) != read(t.TempDir()) {
+		t.Fatal("two merges of the same sources differ")
+	}
+}
+
+func TestMergeRejectsResultConflict(t *testing.T) {
+	d0, d1 := t.TempDir(), t.TempDir()
+	fillCache(t, d0, map[string]int{"shared": 7})
+	fillCache(t, d1, map[string]int{"shared": 8}) // same (key, fp), different result
+
+	if _, err := Merge(t.TempDir(), d0, d1); !errors.Is(err, ErrResultConflict) {
+		t.Fatalf("merge of conflicting caches: err = %v, want ErrResultConflict", err)
+	}
+}
+
+func TestValidateAndMergeRejectSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	fillCache(t, dir, map[string]int{"a": 1})
+	// Append an entry under a foreign schema version — the tolerant
+	// load path would just count it invalidated; validate/merge must
+	// name it.
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"v":"bulkpim-resultcache-v0","key":"old","fp":"x","result":{}}` + "\n")
+	f.Close()
+
+	if _, err := Validate(dir); !errors.Is(err, ErrSchemaVersion) {
+		t.Fatalf("validate: err = %v, want ErrSchemaVersion", err)
+	}
+	if _, err := Merge(t.TempDir(), dir); !errors.Is(err, ErrSchemaVersion) {
+		t.Fatalf("merge: err = %v, want ErrSchemaVersion", err)
+	}
+}
+
+func TestValidateRejectsCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	fillCache(t, dir, map[string]int{"a": 1})
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"v":"truncated`)
+	f.Close()
+
+	if _, err := Validate(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("validate: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	dir := t.TempDir()
+	fillCache(t, dir, map[string]int{"a": 1, "b": 2})
+	// Both the directory and the file path spellings must resolve.
+	for _, path := range []string{dir, filepath.Join(dir, FileName)} {
+		stats, err := Validate(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Entries != 2 || stats.Unique != 2 {
+			t.Fatalf("validate(%s) stats %+v", path, stats)
+		}
+	}
+}
+
+func TestMergeIntoSourceDir(t *testing.T) {
+	// The destination may be one of the sources: everything is read
+	// before anything is written.
+	d0, d1 := t.TempDir(), t.TempDir()
+	fillCache(t, d0, map[string]int{"a": 1})
+	fillCache(t, d1, map[string]int{"b": 2})
+	if _, err := Merge(d0, d0, d1); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Open(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if merged.Len() != 2 {
+		t.Fatalf("in-place merge has %d entries, want 2", merged.Len())
+	}
+}
+
+func TestMergeNoSources(t *testing.T) {
+	if _, err := Merge(t.TempDir()); err == nil {
+		t.Fatal("merge with no sources accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package runner
+
+import "hash/fnv"
+
+// ShardOf assigns a job key to one of n shards by FNV-1a hash of the
+// key — a pure function of the key string, stable across processes,
+// machines and Go versions. Independently planned shards of the same
+// suite therefore partition its job set exactly: every key belongs to
+// exactly one shard index at a given n, regardless of plan order or
+// which experiments contributed it. n <= 1 maps every key to shard 0.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}

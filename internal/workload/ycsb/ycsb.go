@@ -83,17 +83,26 @@ type Workload struct {
 	inserted int // next insert slot (appended after initial records)
 }
 
+// ScopeCount returns the scope count a workload with these params
+// occupies. It depends only on the record count, layout and thread
+// count — not the operation sequence — so plan and report passes can
+// derive a sweep's x axis without generating any workload.
+func ScopeCount(p Params) int {
+	rps := pimdb.DefaultLayout().RecordsPerScope()
+	scopes := (p.Records + rps - 1) / rps
+	if scopes < p.Threads {
+		scopes = p.Threads // at least one scope per thread
+	}
+	return scopes
+}
+
 // New generates the operation sequence for p.
 func New(p Params) *Workload {
 	if p.Records <= 0 || p.Operations <= 0 || p.Threads <= 0 {
 		panic("ycsb: bad params")
 	}
 	w := &Workload{P: p, Layout: pimdb.DefaultLayout()}
-	rps := w.Layout.RecordsPerScope()
-	w.Scopes = (p.Records + rps - 1) / rps
-	if w.Scopes < p.Threads {
-		w.Scopes = p.Threads // at least one scope per thread
-	}
+	w.Scopes = ScopeCount(p)
 	// A fixed multiplicative permutation pos = (key*a + c) mod N, bijective
 	// because gcd(a, N) = 1. a is pre-reduced mod N so key*a never
 	// overflows (records < 2^31, so the product stays below 2^62).

@@ -1,0 +1,296 @@
+package bulkpim
+
+// The experiment registry is the declarative backbone of the harness:
+// every experiment is an ExperimentSpec with two separable phases — a
+// Plan that enumerates its simulation jobs without executing anything,
+// and a Report that renders figures/tables purely from job results
+// looked up by key. Everything else is built on that split: a local
+// run plans and executes in one process; a distributed run plans
+// everywhere, executes a shard-filtered subset per machine into a
+// local result cache, merges the caches, and runs the report pass
+// entirely from cache hits. RunExperiment, RunAll, the pimbench
+// plan/merge subcommands and the -shard filter all resolve experiments
+// through this one table, so the advertised experiment list can never
+// drift from what actually runs.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bulkpim/internal/runner"
+)
+
+// ExperimentSpec declares one experiment of the paper's evaluation.
+type ExperimentSpec struct {
+	// Name is the canonical experiment name ("fig7", "table2", ...).
+	Name string
+	// Bundles lists additional artifact names this spec renders from
+	// the same sweep (fig10 rides on fig7's jobs, fig9 on fig8's);
+	// requesting a bundled name resolves to this spec.
+	Bundles []string
+	// Plan enumerates the experiment's simulation jobs — keys,
+	// fingerprints, workload identity — without executing any
+	// simulation work. Workload generation is deferred into the job
+	// closures, so planning a full-scale suite is instant. nil for
+	// static table experiments with no jobs.
+	Plan func(opts Options) ([]SimJob, error)
+	// Report renders the printable report from planned-job results,
+	// looked up by job key. It performs no simulation work, so a
+	// coordinator whose cache holds every planned point reports
+	// without computing anything.
+	Report func(opts Options, rs *ResultSet) (string, error)
+}
+
+// ResultSet indexes executed grid-point results by job key: the
+// interface between an experiment's execute and report phases. Failed
+// points are absent, mirroring the skip-failed-points behaviour of the
+// pre-registry sweeps (the execute phase separately folds failures
+// into an error).
+type ResultSet struct {
+	byKey map[string]Result
+}
+
+// newResultSet indexes a batch's successful results.
+func newResultSet(rs []runner.JobResult[Result]) *ResultSet {
+	s := &ResultSet{byKey: make(map[string]Result, len(rs))}
+	for _, r := range rs {
+		if r.Err == nil {
+			s.byKey[r.Key] = r.Value
+		}
+	}
+	return s
+}
+
+// Lookup returns the result of the job planned under key.
+func (s *ResultSet) Lookup(key string) (Result, bool) {
+	r, ok := s.byKey[key]
+	return r, ok
+}
+
+// Len returns the number of indexed results.
+func (s *ResultSet) Len() int { return len(s.byKey) }
+
+// execCount counts Execute invocations of planned jobs, across every
+// experiment. Tests use it to enforce the plan/execute separation
+// contract: planning (and fingerprinting) a suite must execute zero
+// simulation work.
+var execCount atomic.Int64
+
+// countExec wraps a planned job's Execute with the invocation counter.
+// Every spec's Plan routes its Execute closures through this.
+func countExec(f func(Config) (Result, error)) func(Config) (Result, error) {
+	return func(cfg Config) (Result, error) {
+		execCount.Add(1)
+		return f(cfg)
+	}
+}
+
+// registry lists every experiment in canonical suite order. Specs are
+// appended here and nowhere else; Experiments, StandaloneExperiments,
+// RunExperiment, RunAll and the plan/shard pipeline all derive from
+// this table.
+var registry = []ExperimentSpec{
+	fig1Spec(),
+	fig3Spec(),
+	fig7Spec(),
+	fig8Spec(),
+	fig11aSpec(),
+	fig11bSpec(),
+	fig12Spec(),
+	fig13Spec(),
+	tableSpec("table1", TableITable),
+	tableSpec("table2", TableIITable),
+	tableSpec("table3", TableIIITable),
+	tableSpec("table4", TableIVTable),
+	tableSpec("area", AreaTable),
+	ablationSpec(),
+	sbsizeSpec(),
+	multimodSpec(),
+}
+
+// LookupExperiment resolves an experiment name — canonical or bundled
+// (fig10 -> fig7, fig9 -> fig8) — to its spec.
+func LookupExperiment(name string) (ExperimentSpec, bool) {
+	n := strings.ToLower(name)
+	for _, s := range registry {
+		if s.Name == n {
+			return s, true
+		}
+		for _, b := range s.Bundles {
+			if b == n {
+				return s, true
+			}
+		}
+	}
+	return ExperimentSpec{}, false
+}
+
+// Experiments lists the regenerable artifacts: every registered spec,
+// its bundled artifact names, and "all".
+func Experiments() []string {
+	var out []string
+	for _, s := range registry {
+		out = append(out, s.Name)
+		out = append(out, s.Bundles...)
+	}
+	return append(out, "all")
+}
+
+// StandaloneExperiments returns the canonical iteration list for an
+// "all" run: each registered spec exactly once, in suite order —
+// bundled names (fig10 with fig7, fig9 with fig8) are rendered by
+// their owning spec and therefore excluded.
+func StandaloneExperiments() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// render concatenates printable report items, one per line — the
+// report emission shape shared by every experiment.
+func render(items ...fmt.Stringer) string {
+	var b strings.Builder
+	for _, it := range items {
+		b.WriteString(it.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// runPlan executes planned jobs on the harness runner (parallelism,
+// shared pool, cache and flight hooks all via opts), logs the batch's
+// accounting under label, and indexes the results for the report
+// phase. Per-job failures are folded into the returned error against
+// their keys without discarding siblings. This is the one execute step
+// shared by runSpec and the exported legacy wrappers.
+func runPlan(opts Options, label string, specs []SimJob) (*ResultSet, error) {
+	results := runner.RunJobs(runner.SimJobs(specs), opts.runnerOpts())
+	opts.log("%s: %s", label, runner.Summarize(results))
+	return newResultSet(results), collectErrs(results)
+}
+
+// runSpec is the single plan -> execute -> report path every
+// experiment runs through.
+func runSpec(spec ExperimentSpec, opts Options) (string, error) {
+	rs := &ResultSet{}
+	if spec.Plan != nil {
+		jobs, err := spec.Plan(opts)
+		if err != nil {
+			return "", err
+		}
+		if rs, err = runPlan(opts, spec.Name, jobs); err != nil {
+			return "", err
+		}
+	}
+	return spec.Report(opts, rs)
+}
+
+// RunExperiment dispatches by name through the registry and returns
+// the printable report. "all" runs the whole standalone suite via
+// RunAll.
+func RunExperiment(name string, opts Options) (string, error) {
+	if strings.ToLower(name) == "all" {
+		// The timing footer is intentionally not embedded in the report:
+		// wall times vary run to run, and the report must stay
+		// byte-identical across cold, warm, parallel and sharded runs.
+		var b strings.Builder
+		if _, err := RunAll(opts, func(name, report string) {
+			fmt.Fprintf(&b, "==== %s ====\n%s\n", name, report)
+		}, nil); err != nil {
+			return b.String(), err
+		}
+		return b.String(), nil
+	}
+	spec, ok := LookupExperiment(name)
+	if !ok {
+		return "", fmt.Errorf("unknown experiment %q (have %v)", name, Experiments())
+	}
+	return runSpec(spec, opts)
+}
+
+// RunAll executes every standalone experiment, handing each name and
+// printable report to emit in the canonical StandaloneExperiments
+// order. Experiments run concurrently — at most opts.Parallelism (or
+// GOMAXPROCS) at a time, so workload generation cannot oversubscribe
+// the machine beyond the cap the pool enforces for simulation — and
+// enqueue their simulation jobs onto one shared worker pool, so the
+// whole suite is bounded by its slowest single point rather than the
+// sum of per-experiment tails. Per-experiment result demultiplexing
+// keeps every report byte-identical to a serial run, and a shared
+// in-flight dedup computes grid points that several experiments
+// overlap on (the Naive baselines) only once. Per-experiment timing is
+// collected unconditionally and returned; timed, when non-nil,
+// additionally observes each experiment as it finishes (in emission
+// order). A failed experiment is reported against its name without
+// aborting the others. RunAll resolves every experiment through the
+// registry — the same table RunExperiment dispatches on — and is the
+// single "all" orchestration shared by RunExperiment("all") and
+// cmd/pimbench.
+func RunAll(opts Options, emit func(name, report string), timed func(name string, d time.Duration)) ([]ExperimentTiming, error) {
+	specs := registry
+	pool := runner.NewPool(opts.Parallelism)
+	defer pool.Close()
+	opts.pool = pool
+	opts.flight = runner.NewFlight[Result]()
+	if inner := opts.Log; inner != nil {
+		// Experiments log concurrently; serialize so callers' Log (and
+		// pimbench's -v writer) need not be goroutine-safe.
+		var logMu sync.Mutex
+		opts.Log = func(format string, args ...interface{}) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			inner(format, args...)
+		}
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+
+	type outcome struct {
+		report string
+		err    error
+		wall   time.Duration
+	}
+	outs := make([]outcome, len(specs))
+	ready := make([]chan struct{}, len(specs))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	for i, spec := range specs {
+		go func(i int, spec ExperimentSpec) {
+			defer close(ready[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			rep, err := runSpec(spec, opts)
+			outs[i] = outcome{report: rep, err: err, wall: time.Since(start)}
+		}(i, spec)
+	}
+
+	timings := make([]ExperimentTiming, 0, len(specs))
+	var errs []error
+	for i, spec := range specs {
+		<-ready[i]
+		timings = append(timings, ExperimentTiming{Name: spec.Name, Wall: outs[i].wall})
+		if timed != nil {
+			timed(spec.Name, outs[i].wall)
+		} else {
+			opts.log("%s finished in %s", spec.Name, outs[i].wall.Round(time.Millisecond))
+		}
+		if outs[i].err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", spec.Name, outs[i].err))
+			continue
+		}
+		emit(spec.Name, outs[i].report)
+	}
+	return timings, errors.Join(errs...)
+}
