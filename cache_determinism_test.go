@@ -66,6 +66,54 @@ func TestWarmCacheByteIdenticalReports(t *testing.T) {
 	}
 }
 
+// TestWarmRunAllFullyHit is the fingerprint-level Flight dedup
+// follow-through (ROADMAP item closed by this PR): a cold single-
+// process `-exp all` run computes each distinct fingerprint exactly
+// once — aliased keys (fig9-ycsb, the ablation baseline, the sizing
+// defaults all planning the suite's most expensive simulation) ride
+// their Flight primary instead of recomputing — yet still leaves a
+// cache entry under EVERY planned (key, fingerprint) identity, so a
+// warm re-run is 100%-hit and byte-identical.
+func TestWarmRunAllFullyHit(t *testing.T) {
+	cache, err := OpenResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+
+	before := execCount.Load()
+	cold := runAllReports(t, cache)
+	executed := execCount.Load() - before
+
+	manifest, err := Manifest("all", Options{Scale: ScaleSmoke})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, j := range manifest {
+		distinct[j.Fingerprint] = true
+	}
+	if executed != int64(len(distinct)) {
+		t.Fatalf("cold run executed %d simulations, suite has %d distinct fingerprints (aliases must dedup)",
+			executed, len(distinct))
+	}
+	for _, j := range manifest {
+		if _, ok := cache.Lookup(j.Key, j.Fingerprint); !ok {
+			t.Fatalf("planned identity missing from cache after cold run: %s (%s)", j.Key, j.Fingerprint)
+		}
+	}
+
+	beforeWarm := cache.Stats()
+	warm := runAllReports(t, cache)
+	stats := cache.Stats()
+	if misses := stats.Misses - beforeWarm.Misses; misses != 0 {
+		t.Fatalf("warm run missed the cache %d times, want 0 (100%% hit)", misses)
+	}
+	if cold != warm {
+		t.Fatalf("warm reports differ from cold: cold %d bytes, warm %d bytes", len(cold), len(warm))
+	}
+}
+
 // TestTruncatedCacheIgnoredNotFatal interrupts a cached run by
 // truncating the store mid-line: reopening must succeed, valid entries
 // must survive, and a fresh suite run must recompute only what was

@@ -6,6 +6,8 @@
 //	pimbench [run] [flags]      execute experiments and print reports
 //	pimbench plan [flags]       print the deterministic job manifest
 //	pimbench merge -o DIR SRC...  merge collected result caches
+//	pimbench coord [flags]      dispatch jobs to a fault-tolerant worker fleet
+//	pimbench work [flags]       worker protocol endpoint (spawned by coord)
 //
 //	pimbench -exp fig7 -scale quick
 //	pimbench -exp all  -scale medium -parallel 8 -v
@@ -26,6 +28,20 @@
 // A shard run executes only its grid points (no reports); the final
 // report pass is served entirely from the merged cache and is
 // byte-identical to a single-process run.
+//
+// The coordinator automates the whole distributed flow on one machine
+// (and, via -worker-cmd, over ssh-style launchers): it dedups the
+// planned suite by fingerprint, dispatches individual jobs to worker
+// subprocesses with dynamic work-stealing, retries jobs from crashed
+// or erroring workers on the survivors, and streams every finished
+// result into the cache as it lands:
+//
+//	pimbench coord -workers 8 -exp all -scale full -cache-dir d
+//	pimbench run -exp all -scale full -cache-dir d        # warm report pass
+//
+// The run survives worker death (it completes as long as one worker
+// lives), and a mid-run kill of the coordinator loses at most the
+// in-flight jobs — re-running resumes from the cache.
 //
 // Scales: smoke (CI, seconds), quick (minutes), medium (tens of
 // minutes), full (the paper's measurement volume; hours sequentially —
@@ -54,14 +70,14 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-// run is main with its dependencies injected (flags, output streams) so
-// tests can drive the binary end-to-end in-process. The first argument
-// selects a subcommand; bare flags keep their historical meaning of
-// "run".
-func run(args []string, stdout, stderr io.Writer) int {
+// run is main with its dependencies injected (flags, stdio streams) so
+// tests can drive the binary end-to-end in-process; only the work
+// subcommand reads stdin. The first argument selects a subcommand;
+// bare flags keep their historical meaning of "run".
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		switch args[0] {
 		case "run":
@@ -70,8 +86,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return planCmd(args[1:], stdout, stderr)
 		case "merge":
 			return mergeCmd(args[1:], stdout, stderr)
+		case "coord":
+			return coordCmd(args[1:], stdout, stderr)
+		case "work":
+			return workCmd(args[1:], stdin, stdout, stderr)
 		default:
-			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge)\n", args[0])
+			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge, coord, work)\n", args[0])
 			return 2
 		}
 	}
@@ -274,6 +294,105 @@ func mergeCmd(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "merged into %s: %s\n", *out, stats)
+	return 0
+}
+
+// coordCmd runs the fault-tolerant coordinator: an execute-only fleet
+// run streaming results into the cache, with a live jobs-done/ETA
+// footer on stderr. Reports stay with a later warm run against the
+// same cache directory.
+func coordCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench coord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
+	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	workers := fs.Int("workers", 0, "worker subprocesses (0 = GOMAXPROCS)")
+	workerCmd := fs.String("worker-cmd", "", "worker launch template; {args} expands to the work-subcommand arguments (default: re-execute this binary)")
+	cacheDir := fs.String("cache-dir", "", "stream finished results into this cache directory (required)")
+	verbose := fs.Bool("v", false, "log per-job progress and forward worker stderr")
+	failWorker := fs.Int("fail-worker", 0, "crash-injection test hook: which worker gets -fail-after")
+	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: kill that worker after N served jobs")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
+		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+		return 2
+	}
+	if *cacheDir == "" {
+		fmt.Fprintln(stderr, "pimbench: coord needs -cache-dir: the coordinator streams results into a cache the report pass reads")
+		return 2
+	}
+
+	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
+	if *verbose {
+		opts.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	cache, err := bulkpim.OpenResultCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+	defer cache.Close()
+	opts.Cache = cache
+
+	copts := bulkpim.CoordOptions{
+		Workers:    *workers,
+		WorkerCmd:  *workerCmd,
+		Progress:   stderr,
+		FailWorker: *failWorker,
+		FailAfter:  *failAfter,
+	}
+	if *verbose {
+		copts.WorkerStderr = stderr
+	}
+	sum, runErr := bulkpim.Coordinate(*exp, opts, copts)
+	fmt.Fprintf(stderr, "pimbench: coord: %s\n", sum)
+	fmt.Fprintf(stderr, "pimbench: cache: %s (%s)\n", cache.Stats(), cache.Path())
+	if runErr != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", runErr)
+		return 1
+	}
+	return 0
+}
+
+// workCmd is the hidden worker endpoint `pimbench coord` spawns: it
+// speaks the line-delimited JSON protocol on stdin/stdout (stdout
+// carries nothing else) and logs on stderr.
+func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench work", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to serve")
+	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	verbose := fs.Bool("v", false, "log served jobs on stderr")
+	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: exit 3 when job N+1 arrives")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
+		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+		return 2
+	}
+	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
+	if *verbose {
+		opts.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	if err := bulkpim.ServeWork(*exp, opts, stdin, stdout, *failAfter); err != nil {
+		fmt.Fprintf(stderr, "pimbench: work: %v\n", err)
+		return 1
+	}
 	return 0
 }
 

@@ -3,16 +3,29 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
+
+// TestMain doubles as the worker re-exec hook: `pimbench coord` spawns
+// workers by re-executing the current binary, which under `go test` is
+// the test binary — so with PIMBENCH_EXEC set, the spawn routes into
+// run() instead of the test suite. Coordinator e2e tests set the
+// variable via t.Setenv and inherit it into their worker subprocesses.
+func TestMain(m *testing.M) {
+	if os.Getenv("PIMBENCH_EXEC") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 // TestRunSmoke drives the binary end-to-end at ScaleBench: a small
 // experiment must run through the job runner and emit a non-empty
 // report on stdout.
 func TestRunSmoke(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-exp", "fig3", "-scale", "bench", "-parallel", "2"}, &stdout, &stderr)
+	code := run([]string{"-exp", "fig3", "-scale", "bench", "-parallel", "2"}, nil, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
 	}
@@ -33,7 +46,7 @@ func TestRunSmoke(t *testing.T) {
 // TestRunList checks the -list path.
 func TestRunList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-list"}, nil, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d", code)
 	}
 	for _, e := range []string{"fig1", "fig7", "table2", "all"} {
@@ -46,7 +59,7 @@ func TestRunList(t *testing.T) {
 // TestRunUnknownExperiment must fail with a non-zero exit code.
 func TestRunUnknownExperiment(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code != 1 {
+	if code := run([]string{"-exp", "nope"}, nil, &stdout, &stderr); code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
 	}
 	if !strings.Contains(stderr.String(), "unknown experiment") {
@@ -61,7 +74,7 @@ func TestRunCacheWarm(t *testing.T) {
 	dir := t.TempDir()
 	runOnce := func() (string, string) {
 		var stdout, stderr bytes.Buffer
-		code := run([]string{"-exp", "fig3", "-scale", "smoke", "-cache-dir", dir}, &stdout, &stderr)
+		code := run([]string{"-exp", "fig3", "-scale", "smoke", "-cache-dir", dir}, nil, &stdout, &stderr)
 		if code != 0 {
 			t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
 		}
@@ -87,7 +100,7 @@ func TestRunResume(t *testing.T) {
 	dir := t.TempDir() + "/resume-cache"
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-exp", "fig3", "-scale", "smoke", "-cache-dir", dir, "-resume"},
-		&stdout, &stderr); code != 0 {
+		nil, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
 	}
 	if !strings.Contains(stderr.String(), "resuming from") {
@@ -97,7 +110,7 @@ func TestRunResume(t *testing.T) {
 	stdout.Reset()
 	stderr.Reset()
 	if code := run([]string{"-exp", "fig3", "-scale", "smoke", "-cache-dir", dir, "-no-cache"},
-		&stdout, &stderr); code != 0 {
+		nil, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
 	}
 	if strings.Contains(stderr.String(), "pimbench: cache:") {
@@ -109,7 +122,7 @@ func TestRunResume(t *testing.T) {
 // falling back to quick.
 func TestRunUnknownScale(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-exp", "fig3", "-scale", "nope"}, &stdout, &stderr); code != 2 {
+	if code := run([]string{"-exp", "fig3", "-scale", "nope"}, nil, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 	if !strings.Contains(stderr.String(), "unknown scale") {
@@ -126,7 +139,7 @@ func TestShardMergeByteIdentical(t *testing.T) {
 	mustRun := func(args ...string) (string, string) {
 		t.Helper()
 		var stdout, stderr bytes.Buffer
-		if code := run(args, &stdout, &stderr); code != 0 {
+		if code := run(args, nil, &stdout, &stderr); code != 0 {
 			t.Fatalf("pimbench %v: exit %d, stderr:\n%s", args, code, stderr.String())
 		}
 		return stdout.String(), stderr.String()
@@ -160,12 +173,112 @@ func TestShardMergeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCoordCrashInjection is the coordinator's acceptance contract end
+// to end, through real worker subprocesses and pipes: a 3-worker
+// coordinated smoke run with one worker crashing mid-run (the
+// -fail-after hook kills worker 1 after 2 served jobs, losing its 3rd
+// job in flight) must complete, retry the lost job on a survivor, and
+// leave a cache whose warm report pass is 100%-hit and byte-identical
+// to a single-process cold run.
+func TestCoordCrashInjection(t *testing.T) {
+	t.Setenv("PIMBENCH_EXEC", "1")
+	mustRun := func(args ...string) (string, string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(args, nil, &stdout, &stderr); code != 0 {
+			t.Fatalf("pimbench %v: exit %d, stderr:\n%s", args, code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+
+	single, _ := mustRun("-exp", "all", "-scale", "smoke", "-parallel", "4")
+
+	dir := t.TempDir()
+	coordOut, coordErr := mustRun("coord", "-workers", "3", "-exp", "all", "-scale", "smoke",
+		"-cache-dir", dir, "-fail-worker", "1", "-fail-after", "2")
+	if coordOut != "" {
+		t.Fatalf("coordinator wrote reports to stdout:\n%s", coordOut)
+	}
+	if !strings.Contains(coordErr, "1 retried, 1 workers lost") {
+		t.Fatalf("crashed worker's job not retried exactly once:\n%s", coordErr)
+	}
+	if !strings.Contains(coordErr, "0 failed") {
+		t.Fatalf("coordinated run failed jobs:\n%s", coordErr)
+	}
+	if !strings.Contains(coordErr, "ETA") {
+		t.Fatalf("missing live progress footer:\n%s", coordErr)
+	}
+
+	warm, warmErr := mustRun("-exp", "all", "-scale", "smoke", "-cache-dir", dir)
+	if warm != single {
+		t.Fatalf("coordinated warm report differs from single-process run:\nsingle %d bytes, warm %d bytes",
+			len(single), len(warm))
+	}
+	// The leading space matters: "10 misses" must not satisfy the gate.
+	if !strings.Contains(warmErr, " 0 misses") {
+		t.Fatalf("warm report pass recomputed points:\n%s", warmErr)
+	}
+}
+
+// TestCoordWorkerCmdTemplate: -worker-cmd launches workers through the
+// template instead of bare self-exec ({args} expands to the work
+// subcommand's arguments).
+func TestCoordWorkerCmdTemplate(t *testing.T) {
+	t.Setenv("PIMBENCH_EXEC", "1")
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(exe, " \t") {
+		t.Skipf("test binary path %q contains whitespace; template splits on fields", exe)
+	}
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"coord", "-workers", "2", "-exp", "fig3", "-scale", "smoke",
+		"-cache-dir", dir, "-worker-cmd", exe + " {args}"}, nil, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "0 failed, 0 retried, 0 workers lost") {
+		t.Fatalf("templated fleet run not clean:\n%s", stderr.String())
+	}
+}
+
+// TestCoordRequiresCache: a coordinated run without -cache-dir would
+// compute results and drop them; it must be rejected up front.
+func TestCoordRequiresCache(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"coord", "-exp", "fig3", "-scale", "smoke"}, nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "coord needs -cache-dir") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestWorkProtocolEndpoint drives the hidden worker endpoint directly:
+// hello on stdout, then EOF on stdin is a clean exit.
+func TestWorkProtocolEndpoint(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"work", "-exp", "fig3", "-scale", "smoke"},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var hello struct {
+		Type     string `json:"type"`
+		Distinct int    `json:"distinct"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &hello); err != nil || hello.Type != "hello" || hello.Distinct == 0 {
+		t.Fatalf("worker hello = %+v, %v (stdout %q)", hello, err, stdout.String())
+	}
+}
+
 // TestShardRequiresCache: an execute-only shard run without a cache
 // would compute results and drop them; it must be rejected up front.
 func TestShardRequiresCache(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"run", "-exp", "fig3", "-scale", "smoke", "-shard", "0/2"},
-		&stdout, &stderr); code != 2 {
+		nil, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 	if !strings.Contains(stderr.String(), "-shard needs -cache-dir") {
@@ -178,7 +291,7 @@ func TestShardBadSpec(t *testing.T) {
 	for _, bad := range []string{"2/2", "x", "-1/3"} {
 		var stdout, stderr bytes.Buffer
 		if code := run([]string{"run", "-exp", "fig3", "-shard", bad, "-cache-dir", t.TempDir()},
-			&stdout, &stderr); code != 2 {
+			nil, &stdout, &stderr); code != 2 {
 			t.Fatalf("shard %q: exit code %d, want 2", bad, code)
 		}
 	}
@@ -190,7 +303,7 @@ func TestPlanText(t *testing.T) {
 	plan := func(args ...string) []string {
 		t.Helper()
 		var stdout, stderr bytes.Buffer
-		if code := run(append([]string{"plan"}, args...), &stdout, &stderr); code != 0 {
+		if code := run(append([]string{"plan"}, args...), nil, &stdout, &stderr); code != 0 {
 			t.Fatalf("plan %v: exit %d, stderr:\n%s", args, code, stderr.String())
 		}
 		var lines []string
@@ -234,7 +347,7 @@ func TestPlanText(t *testing.T) {
 func TestPlanJSON(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"plan", "-exp", "fig3", "-scale", "smoke", "-json"},
-		&stdout, &stderr); code != 0 {
+		nil, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
 	var manifest []struct {
@@ -258,7 +371,7 @@ func TestPlanJSON(t *testing.T) {
 // TestUnknownSubcommand must fail with a usage error.
 func TestUnknownSubcommand(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"frobnicate"}, &stdout, &stderr); code != 2 {
+	if code := run([]string{"frobnicate"}, nil, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 	if !strings.Contains(stderr.String(), "unknown subcommand") {
@@ -274,7 +387,7 @@ func TestMergeUsage(t *testing.T) {
 		{"merge", "somedir"},
 	} {
 		var stdout, stderr bytes.Buffer
-		if code := run(args, &stdout, &stderr); code != 2 {
+		if code := run(args, nil, &stdout, &stderr); code != 2 {
 			t.Fatalf("%v: exit code %d, want 2", args, code)
 		}
 	}
@@ -284,7 +397,7 @@ func TestMergeUsage(t *testing.T) {
 // per-experiment timing footer on stderr.
 func TestRunAllTimingFooter(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-exp", "all", "-scale", "smoke"}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-exp", "all", "-scale", "smoke"}, nil, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
 	}
 	se := stderr.String()

@@ -1,0 +1,229 @@
+package bulkpim
+
+// Fault-tolerant coordinated execution, built on internal/coord: the
+// coordinator plans the suite, dedups it to distinct simulations
+// (dedupPlan — the same rule the shard pipeline uses), and dispatches
+// individual jobs to a fleet of `pimbench work` subprocesses with
+// dynamic work-stealing, retrying jobs from crashed or erroring
+// workers on the survivors. Every finished result streams straight
+// into the shared result cache — under the canonical key and every
+// alias — so a mid-run kill loses at most in-flight jobs and a
+// subsequent report pass (pimbench -exp ... -cache-dir ...) is served
+// entirely from cache hits, byte-identical to a single-process run.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bulkpim/internal/coord"
+)
+
+// CoordOptions configures a coordinated run.
+type CoordOptions struct {
+	// Workers is the worker-subprocess fleet size; <= 0 means
+	// GOMAXPROCS (never more than the distinct job count).
+	Workers int
+	// WorkerCmd is the worker launch template. Empty re-executes the
+	// current binary; otherwise it is split on whitespace and its
+	// "{args}" field expands to the work-subcommand arguments (appended
+	// when absent) — e.g. "ssh build-02 /opt/pimbench {args}" for an
+	// ssh-style remote worker.
+	WorkerCmd string
+	// Progress, when non-nil, receives the live jobs-done/ETA footer.
+	Progress io.Writer
+	// WorkerStderr, when non-nil, receives the workers' stderr (their
+	// log channel); nil discards it.
+	WorkerStderr io.Writer
+	// FailWorker/FailAfter are the crash-injection test hook: with
+	// FailAfter > 0, worker FailWorker is launched with `-fail-after
+	// FailAfter` and dies after serving that many jobs — losing its
+	// next job in flight, which the coordinator must retry elsewhere.
+	FailWorker int
+	FailAfter  int
+}
+
+// CoordSummary accounts one coordinated run.
+type CoordSummary struct {
+	// Planned counts the suite's manifest entries; Distinct the unique
+	// simulations after fingerprint dedup; Done/Failed the settled
+	// tasks; Retried the re-dispatches after worker crashes or job
+	// errors; WorkersLost the workers that failed to launch or died.
+	Planned, Distinct, Done, Failed, Retried, WorkersLost int
+	// Stored counts cache entries written, aliases included.
+	Stored int
+}
+
+func (s CoordSummary) String() string {
+	return fmt.Sprintf("%d/%d distinct jobs done (%d planned, %d failed, %d retried, %d workers lost), %d cache entries",
+		s.Done, s.Distinct, s.Planned, s.Failed, s.Retried, s.WorkersLost, s.Stored)
+}
+
+// workerArgv builds one worker's launch argv from the template. See
+// CoordOptions.WorkerCmd for the template grammar.
+func workerArgv(tmpl string, workArgs []string) ([]string, error) {
+	if tmpl == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("worker argv: %w", err)
+		}
+		return append([]string{exe}, workArgs...), nil
+	}
+	fields := strings.Fields(tmpl)
+	if len(fields) == 0 {
+		return nil, errors.New("blank -worker-cmd template")
+	}
+	var argv []string
+	expanded := false
+	for _, f := range fields {
+		if f == "{args}" {
+			argv = append(argv, workArgs...)
+			expanded = true
+			continue
+		}
+		argv = append(argv, f)
+	}
+	if !expanded {
+		argv = append(argv, workArgs...)
+	}
+	return argv, nil
+}
+
+// Coordinate is the coordinator half of `pimbench coord`: an
+// execute-only fleet run of the named experiment ("all" for the suite)
+// whose results land in opts.Cache as they finish. Reports stay with a
+// later warm pass against the same cache. The run completes as long as
+// at least one worker survives; a completed run returns nil even if
+// workers were lost along the way.
+func Coordinate(name string, opts Options, copts CoordOptions) (CoordSummary, error) {
+	var sum CoordSummary
+	if opts.Cache == nil {
+		return sum, errors.New("coordinated run needs Options.Cache: results stream into the shared result cache")
+	}
+	planned, err := planFor(name, opts)
+	if err != nil {
+		return sum, err
+	}
+	groups, manifest := dedupPlan(planned)
+	sum.Planned, sum.Distinct = len(manifest), len(groups)
+
+	// coord.Run logs from every worker goroutine, but Options.Log's
+	// contract does not require goroutine-safety (RunAll serializes its
+	// calls), so serialize it here before fanning it out.
+	logf := opts.log
+	if opts.Log != nil {
+		var logMu sync.Mutex
+		base := opts.Log
+		logf = func(format string, args ...any) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			base(format, args...)
+		}
+	}
+
+	tasks := make([]coord.Task, len(groups))
+	keysOf := make(map[string][]string, len(groups))
+	for i, g := range groups {
+		tasks[i] = coord.Task{Key: g.keys[0], Fingerprint: g.fp}
+		keysOf[g.fp] = g.keys
+	}
+
+	workArgs := []string{"work", "-exp", name, "-scale", string(opts.Scale),
+		"-seed", strconv.FormatUint(opts.Seed, 10)}
+	launch := func(id int) (coord.Worker, error) {
+		args := workArgs
+		if copts.FailAfter > 0 && id == copts.FailWorker {
+			args = append(append([]string(nil), args...),
+				"-fail-after", strconv.Itoa(copts.FailAfter))
+		}
+		argv, err := workerArgv(copts.WorkerCmd, args)
+		if err != nil {
+			return nil, err
+		}
+		w, hello, err := coord.StartProc(id, argv, copts.WorkerStderr)
+		if err != nil {
+			return nil, err
+		}
+		if hello.Distinct != len(tasks) {
+			w.Close()
+			return nil, fmt.Errorf("worker planned %d distinct jobs, coordinator planned %d (version or flag skew?)",
+				hello.Distinct, len(tasks))
+		}
+		return w, nil
+	}
+
+	// OnResult is serialized by the dispatcher, so the summary counters
+	// and the cache appends need no extra locking; streaming each
+	// result as it settles is what bounds a mid-run kill's loss to
+	// in-flight jobs.
+	onResult := func(done, total int, o coord.Outcome) {
+		if o.Err != nil {
+			logf("[%d/%d] %s FAILED: %v", done, total, o.Task.Key, o.Err)
+			return
+		}
+		for _, key := range keysOf[o.Task.Fingerprint] {
+			if err := opts.Cache.Store(key, o.Task.Fingerprint, o.Value); err != nil {
+				logf("cache store %s: %v", key, err)
+			} else {
+				sum.Stored++
+			}
+		}
+		logf("[%d/%d] %s done on worker %d (attempt %d)",
+			done, total, o.Task.Key, o.Worker, o.Attempts)
+	}
+
+	csum, err := coord.Run(tasks, coord.Options{
+		Workers:  copts.Workers,
+		Launch:   launch,
+		OnResult: onResult,
+		Progress: copts.Progress,
+		Log:      logf,
+	})
+	sum.Done, sum.Failed = csum.Done, csum.Failed
+	sum.Retried, sum.WorkersLost = csum.Retried, csum.WorkersLost
+	return sum, err
+}
+
+// ServeWork is the worker half — the hidden `pimbench work` endpoint:
+// it plans the same suite the coordinator did (planning is
+// deterministic, so both derive identical fingerprint groups), then
+// executes jobs by fingerprint as protocol requests arrive on in,
+// replying on out. failAfter > 0 is the crash-injection test hook
+// (serve that many jobs, then exit 3 on the next).
+func ServeWork(name string, opts Options, in io.Reader, out io.Writer, failAfter int) error {
+	planned, err := planFor(name, opts)
+	if err != nil {
+		return err
+	}
+	groups, _ := dedupPlan(planned)
+	byFP := make(map[string]SimJob, len(groups))
+	for _, g := range groups {
+		byFP[g.fp] = g.job
+	}
+	execute := func(key, fingerprint string) (r Result, err error) {
+		j, ok := byFP[fingerprint]
+		if !ok {
+			return r, fmt.Errorf("unknown fingerprint %s for %s (plan skew between coordinator and worker?)",
+				fingerprint, key)
+		}
+		// A panicking point becomes a job-level error frame, mirroring
+		// the in-process runner's panic capture: the worker survives to
+		// serve its siblings.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		return j.Job().Run()
+	}
+	return coord.Serve(in, out, coord.ServeOptions{
+		Distinct:  len(groups),
+		Execute:   execute,
+		FailAfter: failAfter,
+		Log:       opts.Log,
+	})
+}

@@ -1,0 +1,152 @@
+package bulkpim
+
+// Tests for the coordinator's bulkpim-side wiring: the dedup-then-
+// dispatch property over the real suite manifest, the worker launch
+// template, and the cache precondition. The dispatch machinery itself
+// (retry, exclusion, fleet loss) is tested in internal/coord; the
+// subprocess protocol end to end in cmd/pimbench.
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"bulkpim/internal/coord"
+	"bulkpim/internal/system"
+)
+
+// manifestWorker is an in-memory coord.Worker over the real planned
+// suite: it "executes" a task by recording its fingerprint, with
+// seeded random delays to shuffle dispatch order.
+type manifestWorker struct {
+	rng   *rand.Rand
+	mu    *sync.Mutex
+	count map[string]int
+}
+
+func (w *manifestWorker) Run(t coord.Task) (system.Result, error) {
+	time.Sleep(time.Duration(w.rng.Intn(100)) * time.Microsecond)
+	w.mu.Lock()
+	w.count[t.Fingerprint]++
+	w.mu.Unlock()
+	return system.Result{}, nil
+}
+
+func (w *manifestWorker) Close() error { return nil }
+
+// TestCoordinateDeliversEachFingerprintOnce: over the paper's
+// full-scale manifest, the coordinator's dedup-then-dispatch must
+// deliver each distinct fingerprint to exactly one execution under
+// randomized worker timing (seeded), for several fleet sizes — the
+// distributed counterpart of the shard partition property.
+func TestCoordinateDeliversEachFingerprintOnce(t *testing.T) {
+	planned, err := planFor("all", Options{Scale: ScaleFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, manifest := dedupPlan(planned)
+	if len(groups) == 0 || len(groups) >= len(manifest) {
+		t.Fatalf("degenerate dedup: %d groups of %d planned entries", len(groups), len(manifest))
+	}
+	tasks := make([]coord.Task, len(groups))
+	for i, g := range groups {
+		tasks[i] = coord.Task{Key: g.keys[0], Fingerprint: g.fp}
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		var mu sync.Mutex
+		count := map[string]int{}
+		sum, err := coord.Run(tasks, coord.Options{
+			Workers: workers,
+			Launch: func(id int) (coord.Worker, error) {
+				return &manifestWorker{rng: rand.New(rand.NewSource(int64(workers*100 + id))),
+					mu: &mu, count: count}, nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sum.Done != len(groups) || sum.Failed != 0 || sum.Retried != 0 {
+			t.Fatalf("workers=%d: summary %+v", workers, sum)
+		}
+		for _, g := range groups {
+			if got := count[g.fp]; got != 1 {
+				t.Fatalf("workers=%d: fingerprint %s (key %s) executed %d times, want exactly 1",
+					workers, g.fp, g.keys[0], got)
+			}
+		}
+	}
+}
+
+// TestDedupPlanGroupsCoverManifest: the fingerprint groups partition
+// the manifest's distinct (key, fingerprint) identities — every
+// planned identity appears in exactly one group, canonical key first
+// in plan order.
+func TestDedupPlanGroupsCoverManifest(t *testing.T) {
+	planned, err := planFor("all", Options{Scale: ScaleFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, manifest := dedupPlan(planned)
+	type identity struct{ key, fp string }
+	want := map[identity]bool{}
+	firstKey := map[string]string{}
+	for _, j := range manifest {
+		want[identity{j.Key, j.Fingerprint}] = true
+		if _, ok := firstKey[j.Fingerprint]; !ok {
+			firstKey[j.Fingerprint] = j.Key
+		}
+	}
+	got := map[identity]bool{}
+	for _, g := range groups {
+		if g.keys[0] != firstKey[g.fp] {
+			t.Fatalf("group %s canonical key %s, want first-in-plan-order %s", g.fp, g.keys[0], firstKey[g.fp])
+		}
+		for _, k := range g.keys {
+			id := identity{k, g.fp}
+			if got[id] {
+				t.Fatalf("identity %v in two groups", id)
+			}
+			got[id] = true
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups cover %d identities, manifest has %d", len(got), len(want))
+	}
+}
+
+// TestWorkerArgv covers the launch template grammar.
+func TestWorkerArgv(t *testing.T) {
+	workArgs := []string{"work", "-exp", "all", "-scale", "smoke"}
+
+	self, err := workerArgv("", workArgs)
+	if err != nil || len(self) != len(workArgs)+1 || self[0] == "" || self[1] != "work" {
+		t.Fatalf("self-exec argv = %v, %v", self, err)
+	}
+
+	ssh, err := workerArgv("ssh build-02 /opt/pimbench {args}", workArgs)
+	want := append([]string{"ssh", "build-02", "/opt/pimbench"}, workArgs...)
+	if err != nil || !reflect.DeepEqual(ssh, want) {
+		t.Fatalf("template argv = %v, %v", ssh, err)
+	}
+
+	appended, err := workerArgv("nice -n 10 /opt/pimbench", workArgs)
+	want = append([]string{"nice", "-n", "10", "/opt/pimbench"}, workArgs...)
+	if err != nil || !reflect.DeepEqual(appended, want) {
+		t.Fatalf("no-placeholder argv = %v, %v", appended, err)
+	}
+
+	if _, err := workerArgv("   ", workArgs); err == nil {
+		t.Fatal("blank template accepted")
+	}
+}
+
+// TestCoordinateRequiresCache: a coordinated run without a cache would
+// compute results and drop them.
+func TestCoordinateRequiresCache(t *testing.T) {
+	if _, err := Coordinate("fig3", Options{Scale: ScaleSmoke}, CoordOptions{}); err == nil {
+		t.Fatal("cache-less coordinated run accepted")
+	}
+}

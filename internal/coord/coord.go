@@ -1,0 +1,386 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"bulkpim/internal/system"
+)
+
+// Task is one distinct unit of work: a planned suite's fingerprint
+// group, represented by its canonical key. The caller guarantees
+// fingerprints are unique across the task list (they content-address
+// the simulations).
+type Task struct {
+	Key         string
+	Fingerprint string
+}
+
+// JobError is a job-level failure reported by a healthy worker: the
+// job's simulation returned an error, the worker itself keeps serving.
+// The coordinator retries the job on other workers with the reporting
+// worker excluded. Any other error from Worker.Run means the worker is
+// lost (crashed, pipe broken) and is removed from the fleet.
+type JobError struct{ Msg string }
+
+func (e *JobError) Error() string { return e.Msg }
+
+// Worker executes one task at a time. Implementations: ProcWorker
+// (a pimbench work subprocess); tests inject in-memory fakes.
+type Worker interface {
+	// Run executes the task, blocking until its outcome. A *JobError
+	// return means the job failed on a healthy worker; any other error
+	// means the worker is lost.
+	Run(t Task) (system.Result, error)
+	Close() error
+}
+
+// Outcome is one settled task, delivered to Options.OnResult as it
+// lands (so a mid-run kill loses at most in-flight jobs).
+type Outcome struct {
+	Task  Task
+	Value system.Result
+	// Err is non-nil when the task failed permanently: its last
+	// job-level error once every live worker was excluded, or "no live
+	// worker" when the whole fleet died first.
+	Err error
+	// Worker is the worker that settled the task (-1 when no worker
+	// could).
+	Worker int
+	// Attempts counts dispatches, including the settling one.
+	Attempts int
+}
+
+// Options configures a coordinated run.
+type Options struct {
+	// Workers is the fleet size; <= 0 means GOMAXPROCS, and the fleet
+	// is never larger than the task list.
+	Workers int
+	// Launch starts worker id. A launch error loses the worker (the
+	// run proceeds on the rest of the fleet).
+	Launch func(id int) (Worker, error)
+	// OnResult, when non-nil, observes each settled task serially, in
+	// settlement order; done counts settled tasks including this one.
+	OnResult func(done, total int, o Outcome)
+	// Progress, when non-nil, receives the live jobs-done/ETA footer
+	// (carriage-return rewritten; a final newline on completion).
+	Progress io.Writer
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+func (o Options) log(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Summary is a coordinated run's accounting.
+type Summary struct {
+	// Tasks is the task count; Done the successfully computed tasks;
+	// Failed the permanently failed ones (Done + Failed == Tasks).
+	Tasks, Done, Failed int
+	// Retried counts re-dispatches after a worker crash or job error.
+	Retried int
+	// WorkersLost counts workers that failed to launch or died mid-run.
+	WorkersLost int
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d/%d jobs done (%d failed, %d retried, %d workers lost)",
+		s.Done, s.Tasks, s.Failed, s.Retried, s.WorkersLost)
+}
+
+// Run dispatches tasks to a fleet of workers with dynamic
+// work-stealing: each worker pulls the next task it is not excluded
+// from as soon as it goes idle, so fast workers absorb slow ones'
+// backlog and a crashed worker's share redistributes itself. A task
+// whose worker dies or errors is requeued with that worker excluded;
+// once every live worker is excluded for it (or the whole fleet is
+// gone) it settles as permanently failed without aborting the rest.
+// Run returns once every task has settled, with a joined error naming
+// each permanently failed task and failed launch; a completed suite
+// returns nil even if workers were lost along the way.
+func Run(tasks []Task, o Options) (Summary, error) {
+	sum := Summary{Tasks: len(tasks)}
+	if len(tasks) == 0 {
+		return sum, nil
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	q := newQueue(tasks, workers)
+	d := &delivery{o: o, q: q, total: len(tasks), workers: workers, start: time.Now()}
+
+	var launchMu sync.Mutex
+	var launchErrs []error
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := o.Launch(i)
+			if err != nil {
+				o.log("worker %d: launch failed: %v", i, err)
+				launchMu.Lock()
+				launchErrs = append(launchErrs, fmt.Errorf("worker %d: launch: %w", i, err))
+				launchMu.Unlock()
+				d.deliverFailed(q.workerLost(i))
+				return
+			}
+			defer w.Close()
+			for {
+				p := q.take(i)
+				if p == nil {
+					return
+				}
+				v, err := w.Run(p.t)
+				var jerr *JobError
+				switch {
+				case err == nil:
+					q.settle()
+					d.deliver(Outcome{Task: p.t, Value: v, Worker: i, Attempts: p.attempts})
+				case errors.As(err, &jerr):
+					o.log("worker %d: job %s failed (%v), retrying on another worker", i, p.t.Key, err)
+					d.deliverFailed(q.exclude(p, i, err))
+				default:
+					o.log("worker %d lost (%v), requeueing %s", i, err, p.t.Key)
+					d.deliverFailed(q.exclude(p, i, err))
+					d.deliverFailed(q.workerLost(i))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sum.Done = d.done - d.failedCount
+	sum.Failed = d.failedCount
+	sum.Retried = q.retriedCount()
+	sum.WorkersLost = workers - q.liveWorkers()
+	d.finish(sum)
+
+	errs := launchErrs
+	for _, f := range d.failures {
+		errs = append(errs, fmt.Errorf("%s: %w", f.Task.Key, f.Err))
+	}
+	return sum, errors.Join(errs...)
+}
+
+// pending is one not-yet-settled task: its exclusion set (workers that
+// crashed under it or reported it failed) and dispatch accounting.
+type pending struct {
+	t        Task
+	excluded map[int]bool
+	attempts int
+	lastErr  error
+}
+
+// queue is the shared work-stealing queue. Every transition
+// (take/settle/exclude/workerLost) broadcasts, so idle workers
+// re-evaluate runnability and completion promptly.
+type queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*pending
+	live    map[int]bool
+	settled int
+	total   int
+	retried int
+}
+
+func newQueue(tasks []Task, workers int) *queue {
+	q := &queue{total: len(tasks), live: make(map[int]bool, workers)}
+	q.cond = sync.NewCond(&q.mu)
+	for i := 0; i < workers; i++ {
+		q.live[i] = true
+	}
+	q.pending = make([]*pending, len(tasks))
+	for i, t := range tasks {
+		q.pending[i] = &pending{t: t, excluded: map[int]bool{}}
+	}
+	return q
+}
+
+// take blocks until a task worker i may run is available and claims
+// it; nil means every task has settled and the worker should exit.
+func (q *queue) take(i int) *pending {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.settled == q.total {
+			return nil
+		}
+		for idx, p := range q.pending {
+			if !p.excluded[i] {
+				q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+				p.attempts++
+				if p.attempts > 1 {
+					q.retried++
+				}
+				return p
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// settle marks one in-flight task finished.
+func (q *queue) settle() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.settled++
+	q.cond.Broadcast()
+}
+
+// exclude records that worker i cannot settle p (it crashed under it
+// or reported a job error) and requeues p for the rest of the fleet —
+// or settles it as permanently failed when no live worker remains
+// eligible. The returned slice holds p iff it settled failed.
+func (q *queue) exclude(p *pending, i int, err error) []*pending {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.excluded[i] = true
+	p.lastErr = err
+	var failed []*pending
+	if q.unrunnable(p) {
+		q.settled++
+		failed = append(failed, p)
+	} else {
+		q.pending = append(q.pending, p)
+	}
+	q.cond.Broadcast()
+	return failed
+}
+
+// workerLost removes worker i from the fleet and settles as failed
+// every queued task the remaining fleet is excluded from (with an
+// empty fleet, all of them).
+func (q *queue) workerLost(i int) []*pending {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.live, i)
+	var failed []*pending
+	keep := q.pending[:0]
+	for _, p := range q.pending {
+		if q.unrunnable(p) {
+			q.settled++
+			failed = append(failed, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	q.pending = keep
+	q.cond.Broadcast()
+	return failed
+}
+
+// unrunnable reports whether no live worker may run p. Callers hold mu.
+func (q *queue) unrunnable(p *pending) bool {
+	for id := range q.live {
+		if !p.excluded[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func (q *queue) liveWorkers() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.live)
+}
+
+func (q *queue) retriedCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.retried
+}
+
+// delivery serializes OnResult and renders the progress footer.
+// Lock order: delivery.mu before queue.mu (the footer snapshots queue
+// counters); queue methods never call back into delivery.
+type delivery struct {
+	mu          sync.Mutex
+	o           Options
+	q           *queue
+	total       int
+	workers     int
+	start       time.Time
+	done        int
+	failedCount int
+	failures    []Outcome
+	lastLen     int
+}
+
+func (d *delivery) deliver(o Outcome) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.done++
+	if o.Err != nil {
+		d.failedCount++
+		d.failures = append(d.failures, o)
+	}
+	if d.o.OnResult != nil {
+		d.o.OnResult(d.done, d.total, o)
+	}
+	d.footer()
+}
+
+// deliverFailed settles queue-reported permanent failures (zero or
+// more) as failed outcomes.
+func (d *delivery) deliverFailed(ps []*pending) {
+	for _, p := range ps {
+		err := p.lastErr
+		if err == nil {
+			err = errors.New("no live worker")
+		}
+		d.deliver(Outcome{Task: p.t, Err: fmt.Errorf("failed on every live worker: %w", err),
+			Worker: -1, Attempts: p.attempts})
+	}
+}
+
+// footer rewrites the live progress line in place. Callers hold d.mu.
+func (d *delivery) footer() {
+	if d.o.Progress == nil {
+		return
+	}
+	eta := "--"
+	if d.done > 0 && d.done < d.total {
+		per := time.Since(d.start) / time.Duration(d.done)
+		eta = (per * time.Duration(d.total-d.done)).Round(time.Second).String()
+	}
+	line := fmt.Sprintf("coord: %d/%d jobs (%d failed, %d retried), %d/%d workers, ETA %s",
+		d.done, d.total, d.failedCount, d.q.retriedCount(), d.q.liveWorkers(), d.workers, eta)
+	pad := ""
+	if n := d.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	d.lastLen = len(line)
+	fmt.Fprintf(d.o.Progress, "\r%s%s", line, pad)
+}
+
+// finish terminates the footer with the run's final accounting.
+func (d *delivery) finish(s Summary) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.o.Progress == nil {
+		return
+	}
+	line := "coord: " + s.String() + " in " + time.Since(d.start).Round(time.Millisecond).String()
+	pad := ""
+	if n := d.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(d.o.Progress, "\r%s%s\n", line, pad)
+}

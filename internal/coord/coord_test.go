@@ -1,0 +1,431 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bulkpim/internal/system"
+)
+
+// tally counts executions per fingerprint across a fleet of fake
+// workers.
+type tally struct {
+	mu    sync.Mutex
+	count map[string]int
+}
+
+func newTally() *tally { return &tally{count: map[string]int{}} }
+
+func (c *tally) add(fp string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count[fp]++
+}
+
+// fakeWorker runs tasks in memory with seeded random delays. dieAfter
+// >= 0 makes Run return a worker-lost error (without executing) on the
+// (dieAfter+1)th call; jobErrs lists fingerprints it reports as failed
+// jobs.
+type fakeWorker struct {
+	id       int
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+	tally    *tally
+	dieAfter int
+	runs     int
+	jobErrs  map[string]bool
+	closed   bool
+}
+
+func (w *fakeWorker) Run(t Task) (system.Result, error) {
+	w.rngMu.Lock()
+	d := time.Duration(w.rng.Intn(200)) * time.Microsecond
+	w.rngMu.Unlock()
+	time.Sleep(d)
+	if w.dieAfter >= 0 && w.runs >= w.dieAfter {
+		return system.Result{}, fmt.Errorf("worker %d: simulated crash", w.id)
+	}
+	w.runs++
+	if w.jobErrs[t.Fingerprint] {
+		return system.Result{}, &JobError{Msg: "simulated job failure"}
+	}
+	w.tally.add(t.Fingerprint)
+	return system.Result{Cycles: 1}, nil
+}
+
+func (w *fakeWorker) Close() error {
+	w.closed = true
+	return nil
+}
+
+func mkTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Key: fmt.Sprintf("key-%d", i), Fingerprint: fmt.Sprintf("fp-%d", i)}
+	}
+	return tasks
+}
+
+// TestRunExactlyOnce is the assignment property: under randomized
+// worker timing (seeded) and any fleet size, a healthy run delivers
+// each distinct fingerprint to exactly one execution, settles every
+// task, and reports a monotonically increasing done count.
+func TestRunExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for seed := int64(1); seed <= 3; seed++ {
+			tasks := mkTasks(100)
+			tl := newTally()
+			last := 0
+			var deliveries int
+			sum, err := Run(tasks, Options{
+				Workers: workers,
+				Launch: func(id int) (Worker, error) {
+					return &fakeWorker{id: id, rng: rand.New(rand.NewSource(seed + int64(id))),
+						tally: tl, dieAfter: -1}, nil
+				},
+				OnResult: func(done, total int, o Outcome) {
+					deliveries++
+					if total != 100 || done != last+1 {
+						t.Errorf("w=%d seed=%d: done=%d total=%d last=%d", workers, seed, done, total, last)
+					}
+					last = done
+					if o.Err != nil {
+						t.Errorf("w=%d seed=%d: %s failed: %v", workers, seed, o.Task.Key, o.Err)
+					}
+				},
+			})
+			if err != nil {
+				t.Fatalf("w=%d seed=%d: %v", workers, seed, err)
+			}
+			if sum.Done != 100 || sum.Failed != 0 || sum.Retried != 0 || sum.WorkersLost != 0 {
+				t.Fatalf("w=%d seed=%d: summary %+v", workers, seed, sum)
+			}
+			if deliveries != 100 {
+				t.Fatalf("w=%d seed=%d: %d deliveries", workers, seed, deliveries)
+			}
+			for _, task := range tasks {
+				if got := tl.count[task.Fingerprint]; got != 1 {
+					t.Fatalf("w=%d seed=%d: fingerprint %s executed %d times, want exactly 1",
+						workers, seed, task.Fingerprint, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunRetriesCrashedWorkersJobs: a worker that dies mid-run loses
+// its in-flight job to a surviving worker; the suite still completes
+// with every fingerprint executed exactly once by the survivors.
+func TestRunRetriesCrashedWorkersJobs(t *testing.T) {
+	tasks := mkTasks(60)
+	tl := newTally()
+	sum, err := Run(tasks, Options{
+		Workers: 3,
+		Launch: func(id int) (Worker, error) {
+			die := -1
+			if id == 1 {
+				die = 5 // crash when the 6th job arrives, losing it in flight
+			}
+			return &fakeWorker{id: id, rng: rand.New(rand.NewSource(int64(id) + 42)),
+				tally: tl, dieAfter: die}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("suite must survive one worker death: %v", err)
+	}
+	if sum.Done != 60 || sum.Failed != 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.WorkersLost != 1 {
+		t.Fatalf("workers lost = %d, want 1", sum.WorkersLost)
+	}
+	if sum.Retried < 1 {
+		t.Fatalf("the crashed worker's in-flight job was not retried: %+v", sum)
+	}
+	for _, task := range tasks {
+		if got := tl.count[task.Fingerprint]; got != 1 {
+			t.Fatalf("fingerprint %s executed %d times, want exactly 1", task.Fingerprint, got)
+		}
+	}
+}
+
+// TestRunRetriesJobErrorElsewhere: a job-level failure on one worker
+// is retried on another (the failing worker excluded), and the suite
+// completes without losing the worker.
+func TestRunRetriesJobErrorElsewhere(t *testing.T) {
+	tasks := mkTasks(20)
+	tl := newTally()
+	sum, err := Run(tasks, Options{
+		Workers: 2,
+		Launch: func(id int) (Worker, error) {
+			w := &fakeWorker{id: id, rng: rand.New(rand.NewSource(int64(id) + 7)),
+				tally: tl, dieAfter: -1}
+			if id == 0 {
+				w.jobErrs = map[string]bool{"fp-13": true}
+			}
+			return w, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Done != 20 || sum.Failed != 0 || sum.WorkersLost != 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if got := tl.count["fp-13"]; got != 1 {
+		t.Fatalf("fp-13 executed %d times, want 1 (on the non-failing worker)", got)
+	}
+}
+
+// TestRunPermanentFailure: a job that fails on every worker settles as
+// permanently failed — reported against its key — without taking the
+// rest of the suite down.
+func TestRunPermanentFailure(t *testing.T) {
+	tasks := mkTasks(10)
+	tl := newTally()
+	var failedKeys []string
+	sum, err := Run(tasks, Options{
+		Workers: 3,
+		Launch: func(id int) (Worker, error) {
+			return &fakeWorker{id: id, rng: rand.New(rand.NewSource(int64(id) + 3)), tally: tl,
+				dieAfter: -1, jobErrs: map[string]bool{"fp-4": true}}, nil
+		},
+		OnResult: func(done, total int, o Outcome) {
+			if o.Err != nil {
+				failedKeys = append(failedKeys, o.Task.Key)
+			}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "key-4") {
+		t.Fatalf("error must name the failed task: %v", err)
+	}
+	if sum.Done != 9 || sum.Failed != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if len(failedKeys) != 1 || failedKeys[0] != "key-4" {
+		t.Fatalf("failed outcomes %v", failedKeys)
+	}
+	if tl.count["fp-4"] != 0 {
+		t.Fatalf("permanently failing job recorded an execution")
+	}
+}
+
+// TestRunAllWorkersLost: when the whole fleet dies, remaining tasks
+// settle as failed and Run returns instead of hanging.
+func TestRunAllWorkersLost(t *testing.T) {
+	tasks := mkTasks(30)
+	tl := newTally()
+	sum, err := Run(tasks, Options{
+		Workers: 2,
+		Launch: func(id int) (Worker, error) {
+			return &fakeWorker{id: id, rng: rand.New(rand.NewSource(int64(id))),
+				tally: tl, dieAfter: 2}, nil
+		},
+	})
+	if err == nil {
+		t.Fatal("a fleet-wide loss must be an error")
+	}
+	if sum.WorkersLost != 2 {
+		t.Fatalf("workers lost = %d, want 2", sum.WorkersLost)
+	}
+	if sum.Done != 4 || sum.Done+sum.Failed != 30 {
+		t.Fatalf("every task must settle: %+v", sum)
+	}
+}
+
+// TestRunLaunchFailure: a worker that cannot launch is a lost worker,
+// not a fatal error — the rest of the fleet absorbs its share.
+func TestRunLaunchFailure(t *testing.T) {
+	tasks := mkTasks(25)
+	tl := newTally()
+	sum, err := Run(tasks, Options{
+		Workers: 3,
+		Launch: func(id int) (Worker, error) {
+			if id == 2 {
+				return nil, errors.New("ssh: connection refused")
+			}
+			return &fakeWorker{id: id, rng: rand.New(rand.NewSource(int64(id))),
+				tally: tl, dieAfter: -1}, nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("launch failure must be reported: %v", err)
+	}
+	if sum.Done != 25 || sum.Failed != 0 || sum.WorkersLost != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+// TestRunProgressFooter: the live footer carries jobs-done/ETA and
+// terminates with the final accounting on its own line.
+func TestRunProgressFooter(t *testing.T) {
+	var progress bytes.Buffer
+	tl := newTally()
+	if _, err := Run(mkTasks(12), Options{
+		Workers:  2,
+		Progress: &progress,
+		Launch: func(id int) (Worker, error) {
+			return &fakeWorker{id: id, rng: rand.New(rand.NewSource(int64(id))),
+				tally: tl, dieAfter: -1}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := progress.String()
+	if !strings.Contains(out, "coord: ") || !strings.Contains(out, "ETA") {
+		t.Fatalf("footer missing: %q", out)
+	}
+	if !strings.Contains(out, "12/12 jobs done (0 failed, 0 retried, 0 workers lost)") {
+		t.Fatalf("final accounting missing: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("footer not terminated with a newline: %q", out)
+	}
+}
+
+// TestRunEmpty: an empty task list completes immediately without
+// launching anything.
+func TestRunEmpty(t *testing.T) {
+	sum, err := Run(nil, Options{Workers: 4, Launch: func(id int) (Worker, error) {
+		t.Fatal("launched a worker for zero tasks")
+		return nil, nil
+	}})
+	if err != nil || sum.Tasks != 0 {
+		t.Fatalf("%+v, %v", sum, err)
+	}
+}
+
+// serveConn drives Serve over in-memory pipes, mimicking the
+// coordinator side of the protocol.
+type serveConn struct {
+	t    *testing.T
+	enc  *json.Encoder
+	dec  *json.Decoder
+	done chan error
+}
+
+func startServe(t *testing.T, o ServeOptions) *serveConn {
+	t.Helper()
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	c := &serveConn{t: t, enc: json.NewEncoder(reqW), dec: json.NewDecoder(respR), done: make(chan error, 1)}
+	go func() {
+		c.done <- Serve(reqR, respW, o)
+		respW.Close()
+	}()
+	var h helloMsg
+	if err := c.dec.Decode(&h); err != nil || h.Type != "hello" {
+		t.Fatalf("no hello: %+v, %v", h, err)
+	}
+	if h.Distinct != o.Distinct {
+		t.Fatalf("hello distinct = %d, want %d", h.Distinct, o.Distinct)
+	}
+	return c
+}
+
+func (c *serveConn) job(key, fp string) response {
+	c.t.Helper()
+	if err := c.enc.Encode(request{Type: "job", Key: key, Fingerprint: fp}); err != nil {
+		c.t.Fatal(err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeProtocol: hello handshake, job execution, job-level errors
+// in result frames, and a clean bye.
+func TestServeProtocol(t *testing.T) {
+	c := startServe(t, ServeOptions{
+		Distinct: 7,
+		Execute: func(key, fp string) (system.Result, error) {
+			if fp == "bad" {
+				return system.Result{}, errors.New("sim exploded")
+			}
+			return system.Result{Cycles: 99}, nil
+		},
+	})
+	resp := c.job("k1", "f1")
+	if resp.Type != "result" || resp.Key != "k1" || resp.Fingerprint != "f1" ||
+		resp.Error != "" || resp.Result.Cycles != 99 {
+		t.Fatalf("result frame %+v", resp)
+	}
+	resp = c.job("k2", "bad")
+	if resp.Error != "sim exploded" {
+		t.Fatalf("job error not in result frame: %+v", resp)
+	}
+	// A job error must not kill the worker.
+	if resp = c.job("k3", "f3"); resp.Result.Cycles != 99 {
+		t.Fatalf("worker dead after job error: %+v", resp)
+	}
+	if err := c.enc.Encode(request{Type: "bye"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-c.done; err != nil {
+		t.Fatalf("bye: %v", err)
+	}
+}
+
+// TestServeFailAfter: the crash-injection hook serves exactly N jobs,
+// then dies on the next request without replying.
+func TestServeFailAfter(t *testing.T) {
+	failed := make(chan struct{})
+	c := startServe(t, ServeOptions{
+		Distinct: 3,
+		Execute: func(key, fp string) (system.Result, error) {
+			return system.Result{Cycles: 1}, nil
+		},
+		FailAfter: 2,
+		Fail:      func() { close(failed) },
+	})
+	c.job("k1", "f1")
+	c.job("k2", "f2")
+	if err := c.enc.Encode(request{Type: "job", Key: "k3", Fingerprint: "f3"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fail hook not invoked on the job after -fail-after")
+	}
+	if err := <-c.done; err == nil || !strings.Contains(err.Error(), "fail-after") {
+		t.Fatalf("crashed Serve error = %v", err)
+	}
+	// The in-flight job got no reply: the response stream ends.
+	var resp response
+	if err := c.dec.Decode(&resp); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after crash, got %+v, %v", resp, err)
+	}
+}
+
+// TestServeEOF: stdin EOF (coordinator gone) is a clean exit.
+func TestServeEOF(t *testing.T) {
+	var out bytes.Buffer
+	if err := Serve(strings.NewReader(""), &out, ServeOptions{Distinct: 1,
+		Execute: func(string, string) (system.Result, error) { return system.Result{}, nil },
+	}); err != nil {
+		t.Fatalf("EOF must be clean: %v", err)
+	}
+}
+
+// TestServeUnknownType: a desynchronized stream is fatal for the
+// worker (continuing could execute wrong work).
+func TestServeUnknownType(t *testing.T) {
+	var out bytes.Buffer
+	err := Serve(strings.NewReader(`{"type":"frobnicate"}`+"\n"), &out, ServeOptions{
+		Execute: func(string, string) (system.Result, error) { return system.Result{}, nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown request type") {
+		t.Fatalf("err = %v", err)
+	}
+}

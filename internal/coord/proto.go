@@ -1,0 +1,54 @@
+// Package coord is the fault-tolerant local coordinator of a
+// distributed pimbench run: it dispatches a planned suite's distinct
+// jobs — dynamic work-stealing, one job at a time per worker — to a
+// fleet of worker subprocesses speaking a line-delimited JSON protocol
+// over stdin/stdout, retries jobs from crashed or erroring workers on
+// surviving ones (the failed worker excluded per job), streams every
+// finished result to the caller as it lands, and renders a live
+// jobs-done/ETA footer.
+//
+// The wire protocol (one JSON value per line, worker side implemented
+// by Serve):
+//
+//	worker -> coordinator  {"type":"hello","distinct":N}
+//	coordinator -> worker  {"type":"job","key":K,"fp":F}
+//	worker -> coordinator  {"type":"result","key":K,"fp":F,"result":{...},"error":""}
+//	coordinator -> worker  {"type":"bye"}        (or stdin EOF)
+//
+// Both sides plan the same suite independently (planning is
+// deterministic), so a job travels as its identity — key plus
+// fingerprint — and the worker resolves the fingerprint to the job
+// closure it planned locally; results travel back as the same
+// system.Result JSON the result cache persists. The hello handshake
+// carries the worker's distinct-job count so a version- or flag-skewed
+// worker fails fast instead of computing wrong points.
+package coord
+
+import "bulkpim/internal/system"
+
+// helloMsg is the worker's startup handshake.
+type helloMsg struct {
+	Type     string `json:"type"` // "hello"
+	Distinct int    `json:"distinct"`
+}
+
+// request is a coordinator-to-worker message.
+type request struct {
+	Type        string `json:"type"` // "job" or "bye"
+	Key         string `json:"key,omitempty"`
+	Fingerprint string `json:"fp,omitempty"`
+}
+
+// response is a worker-to-coordinator job outcome. Error carries a
+// job-level failure; the worker itself stays available.
+type response struct {
+	Type        string        `json:"type"` // "result"
+	Key         string        `json:"key"`
+	Fingerprint string        `json:"fp"`
+	Result      system.Result `json:"result"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// Hello is the decoded startup handshake StartProc returns: how many
+// distinct jobs the worker planned.
+type Hello struct{ Distinct int }

@@ -4,11 +4,14 @@ import "sync"
 
 // Flight deduplicates identical in-flight grid points across the
 // batches sharing it. Concurrent experiments overlap on grid points
-// (the Naive baseline sweep appears in several figures); a persistent
+// (the Naive baseline sweep appears in several figures, and the
+// suite's most expensive simulation is planned under several keys —
+// fig9-ycsb, the ablation baseline, the sizing defaults); a persistent
 // cache only serves points that *finished*, so when every experiment
 // starts at once the overlapping points all miss and are computed
 // once per experiment. With a Flight set on each batch's Options, the
-// first job to arrive at a (key, fingerprint) identity computes it and
+// first job to arrive at a fingerprint — the content address of the
+// simulation, regardless of which key planned it — computes it and
 // every concurrent or later twin reuses the result — suite-wide, even
 // with no persistent cache configured.
 //
@@ -22,6 +25,7 @@ type Flight[T any] struct {
 
 type call[T any] struct {
 	done chan struct{}
+	key  string
 	v    T
 	err  error
 }
@@ -33,7 +37,11 @@ func NewFlight[T any]() *Flight[T] {
 
 // Do executes fn under id, unless an earlier Do with the same id is in
 // flight or finished — then it waits for (or reuses) that call's
-// outcome instead. primary reports whether this caller ran fn. A
+// outcome instead. key is the caller's planned key; primaryKey is the
+// key of the caller that ran fn, so followers can tell same-key twins
+// (whose result the primary already persisted) from aliased keys that
+// need their own write-back. primary reports whether this caller ran
+// fn. A
 // follower blocks only while the primary runs; the primary always
 // closes the call, so followers cannot leak. A follower called from a
 // pool worker holds that worker while it waits — acceptable because
@@ -42,17 +50,17 @@ func NewFlight[T any]() *Flight[T] {
 // Summarize therefore excludes from compute accounting. Errors
 // propagate to every caller of the id: the twins describe the same
 // computation, so a failure is theirs too.
-func (f *Flight[T]) Do(id string, fn func() (T, error)) (v T, err error, primary bool) {
+func (f *Flight[T]) Do(id, key string, fn func() (T, error)) (v T, err error, primaryKey string, primary bool) {
 	f.mu.Lock()
 	if c, ok := f.calls[id]; ok {
 		f.mu.Unlock()
 		<-c.done
-		return c.v, c.err, false
+		return c.v, c.err, c.key, false
 	}
-	c := &call[T]{done: make(chan struct{})}
+	c := &call[T]{done: make(chan struct{}), key: key}
 	f.calls[id] = c
 	f.mu.Unlock()
 	defer close(c.done)
 	c.v, c.err = fn()
-	return c.v, c.err, true
+	return c.v, c.err, key, true
 }

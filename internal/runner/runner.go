@@ -73,9 +73,12 @@ type Options[T any] struct {
 	Lookup func(key, fingerprint string) (T, bool)
 	Store  func(key, fingerprint string, v T)
 	// Flight, when non-nil and shared across batches, deduplicates
-	// identical in-flight points: a fingerprinted job whose (key,
-	// fingerprint) twin is already running (or finished) in any sharing
-	// batch reuses that outcome instead of recomputing it.
+	// identical in-flight points by fingerprint — the content address —
+	// so a fingerprinted job whose twin is already running (or
+	// finished) in any sharing batch reuses that outcome instead of
+	// recomputing it, even when the twin was planned under a different
+	// key. Followers' results are written back through Store under
+	// their own keys (same-key twins skip the redundant write-back).
 	Flight *Flight[T]
 }
 
@@ -115,9 +118,18 @@ func RunJobs[T any](jobs []Job[T], opts Options[T]) []JobResult[T] {
 			r.Value, r.Cached = v, true
 		} else if opts.Flight != nil && jobs[i].Fingerprint != "" {
 			var primary bool
-			r.Value, r.Err, primary = opts.Flight.Do(
-				jobs[i].Key+"\x00"+jobs[i].Fingerprint, compute)
+			var primaryKey string
+			r.Value, r.Err, primaryKey, primary = opts.Flight.Do(jobs[i].Fingerprint, jobs[i].Key, compute)
 			r.Cached = !primary && r.Err == nil
+			// A follower's key may differ from the primary's — equal
+			// fingerprints content-address one simulation planned under
+			// several keys — so its result is written back under the
+			// requesting key too: every planned identity gets a cache
+			// entry and a warm re-run stays fully hit. Same-key twins
+			// skip the write-back: the primary already stored that line.
+			if r.Cached && opts.Store != nil && jobs[i].Key != primaryKey {
+				opts.Store(jobs[i].Key, jobs[i].Fingerprint, r.Value)
+			}
 		} else {
 			r.Value, r.Err = compute()
 		}

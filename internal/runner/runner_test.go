@@ -337,10 +337,10 @@ func TestSimJobFingerprint(t *testing.T) {
 	}
 }
 
-// A Flight shared across concurrent batches computes each (key,
-// fingerprint) identity exactly once: the first arrival runs, twins
-// wait and reuse the outcome (flagged Cached), and a primary's error
-// propagates to its twins.
+// A Flight shared across concurrent batches computes each fingerprint
+// exactly once: the first arrival runs, twins wait and reuse the
+// outcome (flagged Cached), and a primary's error propagates to its
+// twins.
 func TestFlightDedupAcrossBatches(t *testing.T) {
 	pool := NewPool(4)
 	defer pool.Close()
@@ -352,7 +352,7 @@ func TestFlightDedupAcrossBatches(t *testing.T) {
 			i := i
 			jobs[i] = Job[int]{
 				Key:         fmt.Sprintf("shared-%d", i),
-				Fingerprint: "fp",
+				Fingerprint: fmt.Sprintf("fp-%d", i),
 				Run: func() (int, error) {
 					atomic.AddInt32(&executions, 1)
 					if fail && i == 3 {
@@ -409,5 +409,121 @@ func TestFlightDedupAcrossBatches(t *testing.T) {
 		if !r.Cached || r.Value != i*7 {
 			t.Fatalf("late result %d: %+v", i, r)
 		}
+	}
+}
+
+// Flight dedups by fingerprint — the content address — not by key:
+// jobs planned under different keys with equal fingerprints execute
+// once, every follower reuses the primary's value, and each follower's
+// result is written back under its own key so a persistent cache gains
+// an entry per requesting key (the warm re-run stays fully hit).
+func TestFlightFingerprintDedupAcrossKeys(t *testing.T) {
+	flight := NewFlight[int]()
+	var executions int32
+	var mu sync.Mutex
+	stored := map[string]int{}
+	jobs := make([]Job[int], 4)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key:         fmt.Sprintf("alias-%d", i),
+			Fingerprint: "fp-same",
+			Run: func() (int, error) {
+				atomic.AddInt32(&executions, 1)
+				return 42, nil
+			},
+		}
+	}
+	rs := RunJobs(jobs, Options[int]{
+		Parallelism: 4,
+		Flight:      flight,
+		Store: func(key, fp string, v int) {
+			mu.Lock()
+			defer mu.Unlock()
+			stored[key+"\x00"+fp] = v
+		},
+	})
+	if got := atomic.LoadInt32(&executions); got != 1 {
+		t.Fatalf("%d executions for 4 aliased keys of one fingerprint, want 1", got)
+	}
+	primaries := 0
+	for i, r := range rs {
+		if r.Err != nil || r.Value != 42 {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+		if !r.Cached {
+			primaries++
+		}
+	}
+	if primaries != 1 {
+		t.Fatalf("%d primaries, want 1", primaries)
+	}
+	if len(stored) != 4 {
+		t.Fatalf("stored %d cache entries, want one per requesting key (4): %v", len(stored), stored)
+	}
+	for i := 0; i < 4; i++ {
+		if v := stored[fmt.Sprintf("alias-%d\x00fp-same", i)]; v != 42 {
+			t.Fatalf("alias-%d stored %d, want 42", i, v)
+		}
+	}
+}
+
+// Same-key twins (the Naive baseline planned under one key by several
+// experiments) must not duplicate the primary's cache line: the
+// primary's Store covers them, while aliased keys still get their own.
+func TestFlightSameKeyTwinStoresOnce(t *testing.T) {
+	flight := NewFlight[int]()
+	var mu sync.Mutex
+	stores := map[string]int{}
+	mk := func(key string) []Job[int] {
+		return []Job[int]{{
+			Key:         key,
+			Fingerprint: "fp-shared",
+			Run:         func() (int, error) { return 7, nil },
+		}}
+	}
+	opts := Options[int]{Flight: flight, Store: func(key, fp string, v int) {
+		mu.Lock()
+		defer mu.Unlock()
+		stores[key]++
+	}}
+	RunJobs(mk("naive"), opts) // primary: stores under its key
+	RunJobs(mk("naive"), opts) // same-key twin: skips the redundant store
+	RunJobs(mk("alias"), opts) // aliased key: stores under its own key
+	if len(stores) != 2 || stores["naive"] != 1 || stores["alias"] != 1 {
+		t.Fatalf("stores = %v, want exactly one per distinct key", stores)
+	}
+}
+
+// A failed flight identity must not be written back for followers
+// either.
+func TestFlightFollowerSkipsFailedWriteBack(t *testing.T) {
+	flight := NewFlight[int]()
+	stored := 0
+	var mu sync.Mutex
+	jobs := make([]Job[int], 3)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key:         fmt.Sprintf("k-%d", i),
+			Fingerprint: "fp-fail",
+			Run:         func() (int, error) { return 0, fmt.Errorf("boom") },
+		}
+	}
+	rs := RunJobs(jobs, Options[int]{
+		Parallelism: 3,
+		Flight:      flight,
+		Lookup:      func(string, string) (int, bool) { return 0, false },
+		Store: func(string, string, int) {
+			mu.Lock()
+			defer mu.Unlock()
+			stored++
+		},
+	})
+	for i, r := range rs {
+		if r.Err == nil || r.Cached {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	if stored != 0 {
+		t.Fatalf("failed identity written back %d times", stored)
 	}
 }

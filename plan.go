@@ -94,6 +94,47 @@ func Manifest(name string, opts Options) ([]PlannedJob, error) {
 	return out, nil
 }
 
+// fpGroup is one distinct simulation of a planned suite: the job to
+// execute (the canonical, first-in-plan-order instance), its
+// fingerprint, and every distinct key the suite plans it under
+// (canonical first — the rest are aliases whose cache entries are
+// written from the one result).
+type fpGroup struct {
+	job  SimJob
+	fp   string
+	keys []string
+}
+
+// dedupPlan groups a planned suite by fingerprint — the content
+// address, so equal fingerprints under different keys describe the
+// same simulation — and returns the groups in plan order alongside the
+// flat manifest. This is the dedup every executor shares: ExecuteShard
+// and the coordinator both run one simulation per group and fan its
+// result out to the group's keys.
+func dedupPlan(planned []plannedExperiment) (groups []*fpGroup, manifest []PlannedJob) {
+	byFP := map[string]*fpGroup{}
+	seen := map[string]bool{}
+	for _, p := range planned {
+		for _, j := range p.jobs {
+			fp := j.FingerprintID()
+			manifest = append(manifest, PlannedJob{Experiment: p.name, Key: j.Key, Fingerprint: fp})
+			id := j.Key + "\x00" + fp
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			g, ok := byFP[fp]
+			if !ok {
+				g = &fpGroup{job: j, fp: fp}
+				byFP[fp] = g
+				groups = append(groups, g)
+			}
+			g.keys = append(g.keys, j.Key)
+		}
+	}
+	return groups, manifest
+}
+
 // ownedFingerprints is the one dedup-then-assign ownership rule of the
 // distributed pipeline, shared by FilterManifest and ExecuteShard so
 // `plan -shard` can never disagree with what `run -shard` executes:
@@ -209,42 +250,15 @@ func ExecuteShard(name string, opts Options, shard Shard) (ShardSummary, error) 
 	if err != nil {
 		return ShardSummary{}, err
 	}
+	groups, manifest := dedupPlan(planned)
 	var sum ShardSummary
-	type group struct {
-		job     SimJob
-		fp      string
-		aliases []string
-	}
-	byFP := map[string]*group{}
-	seen := map[string]bool{}
-	var order []*group
-	var manifest []PlannedJob
-	for _, p := range planned {
-		for _, j := range p.jobs {
-			sum.Planned++
-			fp := j.FingerprintID()
-			manifest = append(manifest, PlannedJob{Experiment: p.name, Key: j.Key, Fingerprint: fp})
-			id := j.Key + "\x00" + fp
-			if seen[id] {
-				continue
-			}
-			seen[id] = true
-			g, ok := byFP[fp]
-			if !ok {
-				g = &group{job: j, fp: fp}
-				byFP[fp] = g
-				order = append(order, g)
-				continue
-			}
-			g.aliases = append(g.aliases, j.Key)
-		}
-	}
-	sum.Distinct = len(order)
+	sum.Planned = len(manifest)
+	sum.Distinct = len(groups)
 
 	ownedFP := shard.ownedFingerprints(manifest)
-	var owned []*group
+	var owned []*fpGroup
 	var jobs []SimJob
-	for _, g := range order {
+	for _, g := range groups {
 		if !ownedFP[g.fp] {
 			continue
 		}
@@ -259,7 +273,7 @@ func ExecuteShard(name string, opts Options, shard Shard) (ShardSummary, error) 
 			if r.Err != nil {
 				continue
 			}
-			for _, key := range owned[i].aliases {
+			for _, key := range owned[i].keys[1:] {
 				sum.Aliased++
 				if err := opts.Cache.Store(key, owned[i].fp, r.Value); err != nil {
 					opts.log("cache store %s: %v", key, err)

@@ -74,15 +74,25 @@ func TestManifestKeyFingerprintCoherent(t *testing.T) {
 	}
 }
 
-// TestShardPartition: for several shard counts, every planned key must
-// belong to exactly one shard — the union of the shards is the suite
-// and the intersection is empty.
-func TestShardPartition(t *testing.T) {
-	manifest, err := Manifest("all", Options{Scale: ScaleQuick})
+// TestShardPartitionProperty: for every shard count n in 1..16 over
+// the paper's full-scale manifest, the shards must partition the
+// suite — ShardOf gives every key exactly one owner, and the n
+// FilterManifest slices are pairwise disjoint with their multiset
+// union equal to the full manifest (so independently planned shard
+// runs can never skip or duplicate work).
+func TestShardPartitionProperty(t *testing.T) {
+	manifest, err := Manifest("all", Options{Scale: ScaleFull})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []int{1, 2, 3, 5, 8} {
+	if len(manifest) == 0 {
+		t.Fatal("empty full-scale manifest")
+	}
+	want := map[PlannedJob]int{}
+	for _, j := range manifest {
+		want[j]++
+	}
+	for n := 1; n <= 16; n++ {
 		perShard := make([]int, n)
 		for _, j := range manifest {
 			owners := 0
@@ -103,11 +113,28 @@ func TestShardPartition(t *testing.T) {
 					empty++
 				}
 			}
-			// The quick-scale suite has far more keys than shards; a
+			// The full-scale suite has far more keys than shards; a
 			// totally empty shard would mean a degenerate hash.
 			if empty == n-1 {
 				t.Fatalf("n=%d: all keys hashed to one shard: %v", n, perShard)
 			}
+		}
+
+		// FilterManifest applies dedup-then-assign ownership: the n
+		// filtered slices must cover every manifest entry exactly once
+		// (multiset equality ⇒ pairwise disjoint + complete cover).
+		got := map[PlannedJob]int{}
+		total := 0
+		for i := 0; i < n; i++ {
+			f := FilterManifest(manifest, Shard{Index: i, Count: n})
+			total += len(f)
+			for _, j := range f {
+				got[j]++
+			}
+		}
+		if total != len(manifest) || !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: filtered manifests are not a partition: %d entries over shards, %d in manifest",
+				n, total, len(manifest))
 		}
 	}
 }
