@@ -28,6 +28,7 @@ import (
 	"bulkpim/internal/resultcache"
 	"bulkpim/internal/runner"
 	"bulkpim/internal/sim"
+	"bulkpim/internal/snapshot"
 	"bulkpim/internal/system"
 	"bulkpim/internal/workload/litmus"
 	"bulkpim/internal/workload/tpch"
@@ -272,6 +273,29 @@ func ValidateResultCache(path string) (CacheFileStats, error) { return resultcac
 func MergeResultCaches(dstDir string, srcs ...string) (CacheMergeStats, error) {
 	return resultcache.Merge(dstDir, srcs...)
 }
+
+// ---- workload snapshot store ----
+
+// SnapshotStore is a content-addressed, on-disk store of generated
+// workload snapshots, keyed by workload identity (the same identity
+// SimJob.Extra folds into result-cache fingerprints) and verified by
+// an integrity hash on load. Set it on Options.Snapshots (or pimbench
+// -snapshot-dir) to skip regenerating identical databases across
+// harness invocations — and, with a shared filesystem, across a whole
+// worker fleet: writers publish atomically, so each database is
+// generated at most once suite-wide. Corrupt or foreign-version files
+// degrade to regeneration, never errors.
+type SnapshotStore = snapshot.Store
+
+// SnapshotStats is the store's hit/miss/corruption accounting;
+// SnapshotInfo describes one stored snapshot for inspection.
+type (
+	SnapshotStats = snapshot.Stats
+	SnapshotInfo  = snapshot.Info
+)
+
+// OpenSnapshotStore prepares a snapshot store under dir.
+func OpenSnapshotStore(dir string) (*SnapshotStore, error) { return snapshot.Open(dir) }
 
 // ---- Hardware overhead (paper §VI-A) ----
 

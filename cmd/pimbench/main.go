@@ -8,6 +8,7 @@
 //	pimbench merge -o DIR SRC...  merge collected result caches
 //	pimbench coord [flags]      dispatch jobs to a fault-tolerant worker fleet
 //	pimbench work [flags]       worker protocol endpoint (spawned by coord)
+//	pimbench snapshot [flags]   inspect / garbage-collect workload snapshots
 //
 //	pimbench -exp fig7 -scale quick
 //	pimbench -exp all  -scale medium -parallel 8 -v
@@ -54,6 +55,15 @@
 // and a cache-stats summary is printed on stderr. -resume uses
 // .pimbench-cache unless -cache-dir names another directory; pass the
 // same directory on both runs.
+//
+// With -snapshot-dir, generated workloads (YCSB databases, TPC-H query
+// sections) are additionally memoized in a content-addressed snapshot
+// store: re-runs — and fleet workers sharing the directory — load each
+// database instead of regenerating it, so a warm run performs zero
+// workload generations. `pimbench coord -snapshot-dir d` pre-warms the
+// biggest databases and propagates the store to every worker.
+// `pimbench snapshot -snapshot-dir d -ls` lists the store; `-gc`
+// garbage-collects it.
 package main
 
 import (
@@ -90,8 +100,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return coordCmd(args[1:], stdout, stderr)
 		case "work":
 			return workCmd(args[1:], stdin, stdout, stderr)
+		case "snapshot":
+			return snapshotCmd(args[1:], stdout, stderr)
 		default:
-			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge, coord, work)\n", args[0])
+			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge, coord, work, snapshot)\n", args[0])
 			return 2
 		}
 	}
@@ -116,6 +128,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "persist finished grid points here and skip them on re-runs (reports are byte-identical either way)")
 	noCache := fs.Bool("no-cache", false, "disable the result cache even when -cache-dir or -resume is set")
 	resume := fs.Bool("resume", false, "resume an interrupted run from the result cache (defaults -cache-dir to "+defaultCacheDir+")")
+	snapDir := fs.String("snapshot-dir", "", "memoize generated workloads here (content-addressed) and load instead of regenerating on re-runs; shareable across a fleet")
 	shardFlag := fs.String("shard", "", "execute only shard i/n of the planned jobs (stable hash of the job key) into the cache; no reports are built")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -177,6 +190,11 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 				cache.Path(), cache.Len())
 		}
 	}
+	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
 
 	start := time.Now()
 	var runErr error
@@ -190,6 +208,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	if cache != nil {
 		fmt.Fprintf(stderr, "pimbench: cache: %s (%s)\n", cache.Stats(), cache.Path())
 	}
+	snapFooter()
 	if runErr != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", runErr)
 		return 1
@@ -203,6 +222,28 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "pimbench: %s at scale %s (parallel=%d) in %s\n",
 		*exp, *scale, *parallel, time.Since(start).Round(time.Millisecond))
 	return 0
+}
+
+// attachSnapshots opens the workload snapshot store under dir (when
+// non-empty) and attaches it to opts. The returned footer prints the
+// snapshot accounting — store stats plus the workloads this run
+// actually generated, the number a snapshot-warm run must drive to
+// zero — and is never nil, so callers print it unconditionally next to
+// the cache footer.
+func attachSnapshots(dir string, opts *bulkpim.Options, stderr io.Writer) (footer func(), err error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	snap, err := bulkpim.OpenSnapshotStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	opts.Snapshots = snap
+	genBefore := bulkpim.WorkloadGenerations()
+	return func() {
+		fmt.Fprintf(stderr, "pimbench: snapshots: %s; %d workloads generated (%s)\n",
+			snap.Stats(), bulkpim.WorkloadGenerations()-genBefore, snap.Dir())
+	}, nil
 }
 
 // runShard executes the shard's slice of the planned jobs into the
@@ -310,6 +351,7 @@ func coordCmd(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker subprocesses (0 = GOMAXPROCS)")
 	workerCmd := fs.String("worker-cmd", "", "worker launch template; {args} expands to the work-subcommand arguments (default: re-execute this binary)")
 	cacheDir := fs.String("cache-dir", "", "stream finished results into this cache directory (required)")
+	snapDir := fs.String("snapshot-dir", "", "workload snapshot store: the coordinator pre-warms the biggest databases and every worker is pointed at it")
 	verbose := fs.Bool("v", false, "log per-job progress and forward worker stderr")
 	failWorker := fs.Int("fail-worker", 0, "crash-injection test hook: which worker gets -fail-after")
 	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: kill that worker after N served jobs")
@@ -341,6 +383,11 @@ func coordCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	defer cache.Close()
 	opts.Cache = cache
+	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
 
 	copts := bulkpim.CoordOptions{
 		Workers:    *workers,
@@ -355,6 +402,7 @@ func coordCmd(args []string, stdout, stderr io.Writer) int {
 	sum, runErr := bulkpim.Coordinate(*exp, opts, copts)
 	fmt.Fprintf(stderr, "pimbench: coord: %s\n", sum)
 	fmt.Fprintf(stderr, "pimbench: cache: %s (%s)\n", cache.Stats(), cache.Path())
+	snapFooter()
 	if runErr != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", runErr)
 		return 1
@@ -371,6 +419,7 @@ func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	exp := fs.String("exp", "all", "experiment to serve")
 	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
 	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	snapDir := fs.String("snapshot-dir", "", "workload snapshot store shared with the coordinator and sibling workers")
 	verbose := fs.Bool("v", false, "log served jobs on stderr")
 	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: exit 3 when job N+1 arrives")
 	if err := fs.Parse(args); err != nil {
@@ -389,10 +438,70 @@ func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
+	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+	defer snapFooter()
 	if err := bulkpim.ServeWork(*exp, opts, stdin, stdout, *failAfter); err != nil {
 		fmt.Fprintf(stderr, "pimbench: work: %v\n", err)
 		return 1
 	}
+	return 0
+}
+
+// snapshotCmd inspects and garbage-collects a workload snapshot store.
+// -ls (the default) lists id, size and workload identity per snapshot,
+// flagging files that fail verification; -gc removes snapshots older
+// than -older-than (0 = all) plus anything broken — corrupt files,
+// foreign store versions and orphaned temp files can never hit, so
+// they are always garbage.
+func snapshotCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench snapshot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("snapshot-dir", "", "snapshot store directory (required)")
+	ls := fs.Bool("ls", false, "list snapshots (default action)")
+	gc := fs.Bool("gc", false, "garbage-collect the store")
+	olderThan := fs.Duration("older-than", 0, "with -gc, only remove snapshots older than this (0 removes every snapshot)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *dir == "" || fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "pimbench: usage: pimbench snapshot -snapshot-dir DIR [-ls | -gc [-older-than DUR]]")
+		return 2
+	}
+	snap, err := bulkpim.OpenSnapshotStore(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+	if *gc {
+		removed, freed, err := snap.GC(*olderThan, time.Now())
+		if err != nil {
+			fmt.Fprintf(stderr, "pimbench: snapshot gc: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "removed %d files (%d bytes) from %s\n", removed, freed, snap.Dir())
+		return 0
+	}
+	_ = ls // listing is the default action
+	infos, err := snap.List()
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+	for _, in := range infos {
+		if in.Err != nil {
+			fmt.Fprintf(stdout, "%s\t%d\tBROKEN: %v\n", in.ID, in.Size, in.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%s\t%d\t%s\n", in.ID, in.Size, in.Label)
+	}
+	fmt.Fprintf(stderr, "pimbench: %d snapshots in %s\n", len(infos), snap.Dir())
 	return 0
 }
 

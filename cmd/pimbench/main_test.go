@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -91,6 +92,132 @@ func TestRunCacheWarm(t *testing.T) {
 	// The leading space matters: "10 misses" must not satisfy the gate.
 	if !strings.Contains(warmErr, " 0 misses") {
 		t.Fatalf("warm run recomputed points:\n%s", warmErr)
+	}
+}
+
+// TestRunSnapshotWarm runs the same experiment twice against one
+// snapshot store (no result cache, so every simulation recomputes):
+// the second run must load every workload — 100% snapshot hit rate,
+// zero generations — and still print byte-identical reports.
+func TestRunSnapshotWarm(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func() (string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-exp", "fig3", "-scale", "smoke", "-snapshot-dir", dir}, nil, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	coldOut, coldErr := runOnce()
+	warmOut, warmErr := runOnce()
+	if coldOut != warmOut {
+		t.Fatalf("snapshot-warm report differs from cold:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+	if !strings.Contains(coldErr, "pimbench: snapshots:") || strings.Contains(coldErr, "; 0 workloads generated") {
+		t.Fatalf("cold run should report generations:\n%s", coldErr)
+	}
+	if !strings.Contains(warmErr, "(100.0% hit rate)") || !strings.Contains(warmErr, "; 0 workloads generated") {
+		t.Fatalf("warm run regenerated workloads:\n%s", warmErr)
+	}
+}
+
+// TestSnapshotSubcommand covers the inspection/GC surface: -ls lists
+// labeled snapshots, -gc empties the store, and a missing -snapshot-dir
+// is a usage error.
+func TestSnapshotSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	mustRun := func(args ...string) (string, string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(args, nil, &stdout, &stderr); code != 0 {
+			t.Fatalf("pimbench %v: exit %d, stderr:\n%s", args, code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	mustRun("-exp", "fig3", "-scale", "smoke", "-snapshot-dir", dir)
+
+	ls, lsErr := mustRun("snapshot", "-snapshot-dir", dir, "-ls")
+	if !strings.Contains(ls, "ycsb:") || strings.Contains(ls, "BROKEN") {
+		t.Fatalf("listing missing labeled snapshots:\n%s", ls)
+	}
+	if !strings.Contains(lsErr, "snapshots in") {
+		t.Fatalf("missing summary line:\n%s", lsErr)
+	}
+
+	gcOut, _ := mustRun("snapshot", "-snapshot-dir", dir, "-gc")
+	if !strings.Contains(gcOut, "removed ") {
+		t.Fatalf("gc summary missing:\n%s", gcOut)
+	}
+	ls, _ = mustRun("snapshot", "-snapshot-dir", dir)
+	if strings.TrimSpace(ls) != "" {
+		t.Fatalf("store not empty after full gc:\n%s", ls)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"snapshot", "-ls"}, nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("snapshot without -snapshot-dir: exit %d, want 2", code)
+	}
+}
+
+// syncBuffer serializes writes: with -v the coordinator forwards every
+// worker subprocess's stderr into the same writer from concurrent copy
+// goroutines (a real terminal's file descriptor handles that in the
+// kernel; an in-process bytes.Buffer must lock).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestCoordSnapshotPropagation: a coordinated run with -snapshot-dir
+// pre-warms the store and propagates the flag to its worker
+// subprocesses — their forwarded footers must report zero generations
+// (they loaded the pre-warmed database); afterwards a store-backed run
+// generates nothing either.
+func TestCoordSnapshotPropagation(t *testing.T) {
+	t.Setenv("PIMBENCH_EXEC", "1")
+	cacheDir, snapDir := t.TempDir(), t.TempDir()
+	var coordErr syncBuffer
+	var stdout bytes.Buffer
+	code := run([]string{"coord", "-workers", "2", "-exp", "fig3", "-scale", "smoke",
+		"-cache-dir", cacheDir, "-snapshot-dir", snapDir, "-v"}, nil, &stdout, &coordErr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, coordErr.String())
+	}
+	se := coordErr.String()
+	if !strings.Contains(se, "pre-warmed") {
+		t.Fatalf("coordinator did not pre-warm the snapshot store:\n%s", se)
+	}
+	if !strings.Contains(se, "0 failed, 0 retried, 0 workers lost") {
+		t.Fatalf("fleet run not clean:\n%s", se)
+	}
+	// Worker footers ride the forwarded stderr: at least one must show
+	// an attached store that served it fully (the propagation proof —
+	// without -snapshot-dir in workerArgv no worker prints a footer).
+	if !strings.Contains(se, "; 0 workloads generated ("+snapDir) {
+		t.Fatalf("no worker footer shows the propagated store serving it:\n%s", se)
+	}
+
+	stdout.Reset()
+	var warmErr bytes.Buffer
+	if code := run([]string{"-exp", "fig3", "-scale", "smoke", "-snapshot-dir", snapDir},
+		nil, &stdout, &warmErr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, warmErr.String())
+	}
+	if !strings.Contains(warmErr.String(), "; 0 workloads generated") {
+		t.Fatalf("run after coordinated fleet regenerated workloads:\n%s", warmErr.String())
 	}
 }
 

@@ -63,6 +63,23 @@ func (s CoordSummary) String() string {
 		s.Done, s.Distinct, s.Planned, s.Failed, s.Retried, s.WorkersLost, s.Stored)
 }
 
+// coordWorkArgs builds the work-subcommand argv a coordinator hands to
+// its workers: every option a worker needs to independently re-derive
+// the coordinator's plan (experiment, scale, seed) plus the shared
+// resources it should attach to (the snapshot store directory). Any
+// future Options field that changes planning or execution must be
+// propagated here — TestCoordWorkArgsRoundTrip asserts the full
+// round-trip through the work subcommand's flag set, so a field added
+// without a flag fails loudly instead of silently skewing workers.
+func coordWorkArgs(name string, opts Options) []string {
+	args := []string{"work", "-exp", name, "-scale", string(opts.Scale),
+		"-seed", strconv.FormatUint(opts.Seed, 10)}
+	if opts.Snapshots != nil {
+		args = append(args, "-snapshot-dir", opts.Snapshots.Dir())
+	}
+	return args
+}
+
 // workerArgv builds one worker's launch argv from the template. See
 // CoordOptions.WorkerCmd for the template grammar.
 func workerArgv(tmpl string, workArgs []string) ([]string, error) {
@@ -132,8 +149,18 @@ func Coordinate(name string, opts Options, copts CoordOptions) (CoordSummary, er
 		keysOf[g.fp] = g.keys
 	}
 
-	workArgs := []string{"work", "-exp", name, "-scale", string(opts.Scale),
-		"-seed", strconv.FormatUint(opts.Seed, 10)}
+	// Pre-warm the snapshot store before any worker launches: the
+	// biggest databases this plan references are published once by the
+	// coordinator, so the fleet — sharing the store's filesystem —
+	// loads them instead of racing to regenerate them per worker. The
+	// already-built plan is reused; the suite is not planned twice.
+	if opts.Snapshots != nil {
+		if n := prewarmPlanned(opts, plannedIdentities(planned)); n > 0 {
+			logf("coord: pre-warmed %d workload snapshot(s) into %s", n, opts.Snapshots.Dir())
+		}
+	}
+
+	workArgs := coordWorkArgs(name, opts)
 	launch := func(id int) (coord.Worker, error) {
 		args := workArgs
 		if copts.FailAfter > 0 && id == copts.FailWorker {

@@ -7,6 +7,8 @@ package bulkpim
 // subprocess protocol end to end in cmd/pimbench.
 
 import (
+	"flag"
+	"io"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -140,6 +142,73 @@ func TestWorkerArgv(t *testing.T) {
 
 	if _, err := workerArgv("   ", workArgs); err == nil {
 		t.Fatal("blank template accepted")
+	}
+}
+
+// workFlagSet mirrors the `pimbench work` subcommand's flag set. Keep
+// it in sync with workCmd in cmd/pimbench — TestCoordWorkArgsRoundTrip
+// parses coordWorkArgs through it, so an option the coordinator emits
+// that workers cannot parse fails here instead of at fleet launch.
+func workFlagSet() (*flag.FlagSet, map[string]*string) {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	got := map[string]*string{
+		"exp":          fs.String("exp", "all", ""),
+		"scale":        fs.String("scale", "quick", ""),
+		"seed":         fs.String("seed", "0", ""),
+		"snapshot-dir": fs.String("snapshot-dir", "", ""),
+	}
+	fs.Bool("v", false, "")
+	fs.Int("fail-after", 0, "")
+	return fs, got
+}
+
+// TestCoordWorkArgsRoundTrip: the full worker argv must round-trip
+// through the work subcommand's flag set — every option propagated,
+// nothing dropped, nothing the workers cannot parse. This is the guard
+// the -snapshot-dir propagation fix added: a silently dropped flag
+// would let workers plan with skewed options (or regenerate every
+// database the store already holds).
+func TestCoordWorkArgsRoundTrip(t *testing.T) {
+	snap, err := OpenSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Scale: ScaleMedium, Seed: 7, Snapshots: snap}
+	args := coordWorkArgs("fig7", opts)
+	if len(args) == 0 || args[0] != "work" {
+		t.Fatalf("argv must start with the work subcommand: %v", args)
+	}
+	fs, got := workFlagSet()
+	if err := fs.Parse(args[1:]); err != nil {
+		t.Fatalf("work flag set rejects coordinator argv %v: %v", args, err)
+	}
+	if fs.NArg() != 0 {
+		t.Fatalf("argv %v leaves unparsed operands %v — a flag was dropped or misspelled", args, fs.Args())
+	}
+	want := map[string]string{
+		"exp": "fig7", "scale": "medium", "seed": "7", "snapshot-dir": snap.Dir(),
+	}
+	for name, w := range want {
+		if *got[name] != w {
+			t.Errorf("-%s = %q, want %q", name, *got[name], w)
+		}
+	}
+
+	// Without a snapshot store the flag is omitted entirely, keeping
+	// workers on their no-store default.
+	args = coordWorkArgs("all", Options{Scale: ScaleSmoke})
+	for _, a := range args {
+		if a == "-snapshot-dir" {
+			t.Fatalf("store-less coordinator emitted -snapshot-dir: %v", args)
+		}
+	}
+	fs, got = workFlagSet()
+	if err := fs.Parse(args[1:]); err != nil || fs.NArg() != 0 {
+		t.Fatalf("argv %v does not round-trip: %v, %v", args, err, fs.Args())
+	}
+	if *got["exp"] != "all" || *got["scale"] != "smoke" || *got["seed"] != "0" {
+		t.Fatalf("defaults did not round-trip: %v", args)
 	}
 }
 

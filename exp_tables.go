@@ -117,7 +117,7 @@ var ablationVariants = []ablationVariant{
 }
 
 func planAblation(opts Options) []SimJob {
-	lw := &lazyYCSB{p: opts.lastRecordsParams()}
+	lw := &lazyYCSB{p: opts.lastRecordsParams(), snap: opts.Snapshots}
 	extra := ycsbIdentity(lw.p)
 	specs := make([]SimJob, len(ablationVariants))
 	for i, v := range ablationVariants {
@@ -192,7 +192,7 @@ func AblationTable(opts Options) (*Table, error) {
 var sbGeometries = []struct{ sets, ways int }{{1, 1}, {4, 1}, {16, 1}, {64, 1}, {64, 4}}
 
 func planSBSize(opts Options) []SimJob {
-	lw := &lazyYCSB{p: opts.lastRecordsParams()}
+	lw := &lazyYCSB{p: opts.lastRecordsParams(), snap: opts.Snapshots}
 	extra := ycsbIdentity(lw.p)
 	specs := make([]SimJob, len(sbGeometries))
 	for i, g := range sbGeometries {
@@ -267,7 +267,7 @@ func ScopeBufferSizingTable(opts Options) (*Table, error) {
 var multimodCounts = []int{1, 2, 4}
 
 func planMultiModule(opts Options) []SimJob {
-	lw := &lazyYCSB{p: opts.lastRecordsParams()}
+	lw := &lazyYCSB{p: opts.lastRecordsParams(), snap: opts.Snapshots}
 	extra := ycsbIdentity(lw.p)
 	specs := make([]SimJob, len(multimodCounts))
 	for i, n := range multimodCounts {

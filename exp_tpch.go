@@ -8,6 +8,7 @@ package bulkpim
 
 import (
 	"fmt"
+	"sync"
 
 	"bulkpim/internal/report"
 	"bulkpim/internal/workload/tpch"
@@ -28,13 +29,33 @@ func tpchKey(query string, m Model) string {
 // tpchThreads is the paper's TPC-H worker count.
 const tpchThreads = 4
 
-// planTPCH enumerates one job per (query, model) point. Workload
-// construction is cheap (a spec-sized struct) and shared read-only by
-// a query's model variants.
+// lazyTPCH defers workload construction to the first executing job of
+// a query, mirroring lazyYCSB: planning touches no workload, a
+// fully-cached run constructs none, and with a snapshot store attached
+// construction is first tried as a content-addressed load. The
+// prepared workload is shared read-only by the query's model variants.
+type lazyTPCH struct {
+	q       tpch.QuerySpec
+	threads int
+	scale   float64
+	verify  bool
+	snap    *SnapshotStore
+	once    sync.Once
+	w       *tpch.Workload
+}
+
+func (l *lazyTPCH) workload() *tpch.Workload {
+	l.once.Do(func() {
+		l.w = generateTPCH(l.snap, l.q, l.threads, l.scale, l.verify)
+	})
+	return l.w
+}
+
+// planTPCH enumerates one job per (query, model) point.
 func planTPCH(opts Options, models []Model) []SimJob {
 	var specs []SimJob
 	for _, q := range tpch.Queries() {
-		w := tpch.NewWorkload(q, tpchThreads, opts.tpchScale(), false)
+		lw := &lazyTPCH{q: q, threads: tpchThreads, scale: opts.tpchScale(), snap: opts.Snapshots}
 		extra := tpchIdentity(q, tpchThreads, opts.tpchScale(), false)
 		for _, m := range models {
 			m := m
@@ -43,7 +64,7 @@ func planTPCH(opts Options, models []Model) []SimJob {
 				Base:   DefaultConfig(),
 				Mutate: func(cfg *Config) { cfg.Model = m },
 				Execute: countExec(func(cfg Config) (Result, error) {
-					return tpch.Run(w, cfg)
+					return tpch.Run(lw.workload(), cfg)
 				}),
 				Extra: extra,
 			})
@@ -81,7 +102,7 @@ func fig9YCSBKey(m Model) string { return fmt.Sprintf("fig9-ycsb/model=%s", m) }
 // planFig9YCSB enumerates the YCSB column of Fig. 9: the proposed
 // models on the sweep's largest workload.
 func planFig9YCSB(opts Options) []SimJob {
-	lw := &lazyYCSB{p: opts.lastRecordsParams()}
+	lw := &lazyYCSB{p: opts.lastRecordsParams(), snap: opts.Snapshots}
 	extra := ycsbIdentity(lw.p)
 	var specs []SimJob
 	for _, m := range ProposedModels() {

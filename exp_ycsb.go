@@ -86,17 +86,21 @@ func ycsbGrid(opts Options, prefix string, models []Model, modifyParams func(*yc
 // fully-cached run never generates one, and the sync.Once makes the
 // first concurrent use safe; afterwards the workload is frozen
 // (Precompute) and shared read-only by every model variant, so all
-// models measure the identical operation sequence.
+// models measure the identical operation sequence. With a snapshot
+// store attached, generation is first tried as a content-addressed
+// load — so across processes sharing the store each database is
+// generated at most once suite-wide — and a generated database is
+// published back for everyone else.
 type lazyYCSB struct {
 	p    ycsb.Params
+	snap *SnapshotStore
 	once sync.Once
 	w    *ycsb.Workload
 }
 
 func (l *lazyYCSB) workload() *ycsb.Workload {
 	l.once.Do(func() {
-		l.w = ycsb.New(l.p)
-		l.w.Precompute()
+		l.w = generateYCSB(l.snap, l.p)
 	})
 	return l.w
 }
@@ -107,7 +111,7 @@ func planYCSB(opts Options, prefix string, models []Model,
 	modifyParams func(*ycsb.Params), modify func(*Config)) []SimJob {
 	var specs []SimJob
 	for _, records := range opts.ycsbRecordCounts() {
-		lw := &lazyYCSB{p: opts.ycsbParams(records, modifyParams)}
+		lw := &lazyYCSB{p: opts.ycsbParams(records, modifyParams), snap: opts.Snapshots}
 		extra := ycsbIdentity(lw.p)
 		for _, m := range models {
 			m := m

@@ -80,6 +80,13 @@ type Options struct {
 	// and a run whose cache holds every planned point executes nothing
 	// (the report pass of a sharded suite).
 	Cache *ResultCache
+	// Snapshots, when non-nil, is the content-addressed workload
+	// snapshot store: lazily generated workloads (YCSB databases, TPC-H
+	// query sections) are looked up by their identity before generating
+	// and published after, so repeated runs — and fleet workers sharing
+	// the store's filesystem — generate each database at most once
+	// suite-wide instead of once per process.
+	Snapshots *SnapshotStore
 	// pool and flight, when non-nil, schedule every sweep of this
 	// options value on one shared worker pool and deduplicate identical
 	// in-flight grid points across experiments (set by RunAll for

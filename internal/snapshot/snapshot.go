@@ -1,0 +1,385 @@
+// Package snapshot is a content-addressed, on-disk store of generated
+// workload snapshots. The paper's evaluation shares a handful of
+// databases across dozens of grid points: every YCSB record count is
+// one database measured under many models and config ablations, and a
+// distributed run's workers each regenerate (and Precompute) the
+// databases behind the jobs they happen to execute. Snapshotting the
+// generated workload under its content address — the same workload
+// identity the result cache folds into job fingerprints — turns that
+// O(workers x databases) regeneration cost into O(databases): the
+// first generator publishes, everyone else loads.
+//
+// Each snapshot is one file, <id>.snap, where id is derived from the
+// workload identity string (ID). The file is a JSON header line —
+// store version, id, human-readable label, payload length and SHA-256 —
+// followed by the raw payload bytes. Loading verifies all of it;
+// anything that does not check out (truncation, bit rot, a foreign
+// store version) is counted and treated as a miss, never an error —
+// exactly the corruption tolerance of internal/resultcache. Writers
+// publish via write-to-temp-then-rename, so concurrent generators of
+// the same database race benignly: the last rename wins and every
+// reader only ever observes complete files.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FormatVersion keys every snapshot file. Bump it whenever the header
+// or payload framing changes incompatibly; foreign-version files are
+// then counted as invalidated misses (and regenerated over) instead of
+// being misread.
+const FormatVersion = "bulkpim-snapshot-v1"
+
+// suffix is the snapshot file extension inside the store directory.
+const suffix = ".snap"
+
+// header is the JSON first line of a snapshot file. SHA256 and Len
+// cover the payload that follows the newline.
+type header struct {
+	Version string `json:"v"`
+	ID      string `json:"id"`
+	Label   string `json:"label"`
+	Len     int64  `json:"len"`
+	SHA256  string `json:"sha256"`
+}
+
+// Stats is the store's accounting. Hits/Misses count Load calls;
+// Stores counts successful publishes; Invalidated counts loads that
+// found a foreign FormatVersion; Corrupt counts loads that failed the
+// integrity check (truncation, hash mismatch, garbled header);
+// StoreErrors counts failed publishes.
+type Stats struct {
+	Hits        int
+	Misses      int
+	Stores      int
+	Invalidated int
+	Corrupt     int
+	StoreErrors int
+}
+
+// HitRate returns hits / loads, or 0 with no loads.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d stored, %d invalidated, %d corrupt, %d store errors",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Stores, s.Invalidated, s.Corrupt, s.StoreErrors)
+}
+
+// Store is an on-disk snapshot store, safe for concurrent use — by the
+// goroutines of one process and, through the atomic publish protocol,
+// by a fleet of worker processes sharing the directory.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open prepares the store under dir, creating it when absent.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory — the path workers of a shared-
+// filesystem fleet are pointed at.
+func (s *Store) Dir() string { return s.dir }
+
+// ID derives the content address of a workload identity string (the
+// same identity SimJob.Extra folds into result-cache fingerprints).
+func ID(identity string) string {
+	sum := sha256.Sum256([]byte(identity))
+	return hex.EncodeToString(sum[:])[:32]
+}
+
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+suffix) }
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.stats)
+}
+
+// Load returns the payload stored under id, verifying the header and
+// the payload hash. Every failure mode — absent, truncated, garbled,
+// foreign version — is a counted miss.
+func (s *Store) Load(id string) ([]byte, bool) {
+	payload, hdr, err := readFile(s.path(id))
+	switch {
+	case err == nil && hdr.Version != FormatVersion:
+		s.count(func(st *Stats) { st.Invalidated++; st.Misses++ })
+		return nil, false
+	case err == nil && hdr.ID != id:
+		// A renamed or mis-copied file must not serve a foreign workload.
+		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		return nil, false
+	case err == nil:
+		s.count(func(st *Stats) { st.Hits++ })
+		return payload, true
+	case os.IsNotExist(err):
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	default:
+		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		return nil, false
+	}
+}
+
+// readFile reads and verifies one snapshot file. Version checking is
+// left to the caller (a foreign version is invalidation, not
+// corruption); everything structural — header shape, payload length,
+// hash — is verified here.
+func readFile(path string) ([]byte, header, error) {
+	var hdr header
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, hdr, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, hdr, err
+	}
+	br := bufio.NewReader(f)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, hdr, fmt.Errorf("snapshot %s: header: %w", path, err)
+	}
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, hdr, fmt.Errorf("snapshot %s: header: %w", path, err)
+	}
+	// Len is untrusted until it survives this bound: a garbled header
+	// must degrade to a counted miss, not drive a huge allocation.
+	if hdr.Len < 0 || hdr.Len > fi.Size() {
+		return nil, hdr, fmt.Errorf("snapshot %s: implausible payload length %d in a %d-byte file", path, hdr.Len, fi.Size())
+	}
+	payload := make([]byte, hdr.Len)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, hdr, fmt.Errorf("snapshot %s: payload: %w", path, err)
+	}
+	// Trailing bytes mean the writer and header disagree — refuse.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, hdr, fmt.Errorf("snapshot %s: trailing bytes after payload", path)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != hdr.SHA256 {
+		return nil, hdr, fmt.Errorf("snapshot %s: payload hash mismatch", path)
+	}
+	return payload, hdr, nil
+}
+
+// Save publishes a payload under id. label is the human-readable
+// workload identity for List. The write is atomic — temp file in the
+// store directory, fsync-free rename — so concurrent writers (several
+// fleet workers generating the same database at once) and concurrent
+// readers are safe: readers see either nothing or a complete file.
+func (s *Store) Save(id, label string, payload []byte) error {
+	err := s.save(id, label, payload)
+	if err != nil {
+		s.count(func(st *Stats) { st.StoreErrors++ })
+		return err
+	}
+	s.count(func(st *Stats) { st.Stores++ })
+	return nil
+}
+
+func (s *Store) save(id, label string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	line, err := json.Marshal(header{
+		Version: FormatVersion, ID: id, Label: label,
+		Len: int64(len(payload)), SHA256: hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return fmt.Errorf("snapshot: marshal header %s: %w", id, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := tmp.Write(append(line, '\n'))
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("snapshot: write %s: %w", id, werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		return fmt.Errorf("snapshot: publish %s: %w", id, err)
+	}
+	return nil
+}
+
+// readHeader parses just the header line of a snapshot file — the
+// cheap half of verification (no payload read or hash), enough for
+// presence checks and listings. Full-scale payloads are multi-GB gobs,
+// so anything that does not need the bytes must not touch them.
+func readHeader(path string) (header, error) {
+	var hdr header
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, err
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(io.LimitReader(f, 1<<16)).ReadBytes('\n')
+	if err != nil {
+		return hdr, fmt.Errorf("snapshot %s: header: %w", path, err)
+	}
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return hdr, fmt.Errorf("snapshot %s: header: %w", path, err)
+	}
+	return hdr, nil
+}
+
+// Contains reports whether a plausible snapshot for id is present:
+// the header must parse under the current version and id. The payload
+// is not read or hashed — a later Load that finds it corrupt degrades
+// to regeneration — so Contains is cheap enough to poll before
+// deciding whether an expensive generation is needed at all, and it
+// does not touch the hit/miss accounting.
+func (s *Store) Contains(id string) bool {
+	hdr, err := readHeader(s.path(id))
+	return err == nil && hdr.Version == FormatVersion && hdr.ID == id
+}
+
+// DecodeFailed re-books a Load whose payload the caller could not
+// decode into a workload (wire-version skew, a mislabeled file): the
+// optimistic hit becomes a corrupt miss, so the stats — and the CI
+// gates grepping the hit rate — reflect workloads actually served, not
+// bytes merely read.
+func (s *Store) DecodeFailed() {
+	s.count(func(st *Stats) {
+		st.Hits--
+		st.Misses++
+		st.Corrupt++
+	})
+}
+
+// Stats returns a snapshot of the accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Info describes one stored snapshot for inspection (pimbench
+// snapshot -ls).
+type Info struct {
+	ID      string
+	Label   string
+	Size    int64 // whole file, header included
+	ModTime time.Time
+	// Err is non-nil for a file that fails verification — listed so GC
+	// and operators can see residue instead of it hiding.
+	Err error
+}
+
+// List returns every snapshot in the store, sorted by label then id so
+// output is stable for tests and diffs. Only headers are verified —
+// listing must stay cheap on stores of multi-GB payloads (payload
+// integrity is Load's and GC's job).
+func (s *Store) List() ([]Info, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var out []Info
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != suffix {
+			continue
+		}
+		info := Info{ID: name[:len(name)-len(suffix)]}
+		if fi, err := e.Info(); err == nil {
+			info.Size, info.ModTime = fi.Size(), fi.ModTime()
+		}
+		hdr, err := readHeader(filepath.Join(s.dir, name))
+		switch {
+		case err != nil:
+			info.Err = err
+		case hdr.Version != FormatVersion:
+			info.Err = fmt.Errorf("snapshot: foreign version %q", hdr.Version)
+		case hdr.ID != info.ID:
+			info.Err = fmt.Errorf("snapshot: file named %s holds id %s", info.ID, hdr.ID)
+		default:
+			info.Label = hdr.Label
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// GC removes snapshots older than maxAge (0 removes everything) plus
+// every file that fails verification — corrupt residue and foreign
+// versions can never hit, so they are always garbage. Temp files from
+// writers that died mid-publish are removed on the same age rule.
+// It returns the number of files removed and the bytes freed.
+func (s *Store) GC(maxAge time.Duration, now time.Time) (removed int, freed int64, err error) {
+	ents, rerr := os.ReadDir(s.dir)
+	if rerr != nil {
+		return 0, 0, fmt.Errorf("snapshot: %w", rerr)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		fi, ferr := e.Info()
+		if ferr != nil {
+			continue
+		}
+		old := maxAge <= 0 || now.Sub(fi.ModTime()) > maxAge
+		broken := false
+		if name := e.Name(); filepath.Ext(name) == suffix {
+			_, hdr, verr := readFile(path)
+			broken = verr != nil || hdr.Version != FormatVersion ||
+				hdr.ID != name[:len(name)-len(suffix)] // misnamed: Load can never serve it
+		} else if !isTempName(name) {
+			continue // foreign file: not ours to delete
+		}
+		if !old && !broken {
+			continue
+		}
+		if rmErr := os.Remove(path); rmErr != nil {
+			err = rmErr
+			continue
+		}
+		removed++
+		freed += fi.Size()
+	}
+	return removed, freed, err
+}
+
+// isTempName reports whether name matches the CreateTemp pattern Save
+// uses, so GC can reap orphans of crashed writers.
+func isTempName(name string) bool {
+	return len(name) > 1 && name[0] == '.' && bytes.Contains([]byte(name), []byte(".tmp-"))
+}

@@ -1,0 +1,389 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundtrip: a saved payload loads back byte-identical, under the
+// same id, across store handles (the shared-filesystem fleet case).
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	id := ID("ycsb:records=100000")
+	payload := []byte("the generated workload bytes \x00\x01\x02")
+	if err := s.Save(id, "ycsb:records=100000", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(id)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Load = %q, %v; want stored payload", got, ok)
+	}
+
+	// A second handle over the same directory — another process of the
+	// fleet — sees the published snapshot.
+	s2 := open(t, dir)
+	if got, ok := s2.Load(id); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("second handle Load = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 hit", st)
+	}
+
+	if _, ok := s.Load(ID("something else")); ok {
+		t.Fatal("absent id loaded")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+// TestIDStable: the content address is a pure function of the identity
+// string, fixed-width, and distinct identities do not collide.
+func TestIDStable(t *testing.T) {
+	a, b := ID("ycsb:records=100000"), ID("ycsb:records=100000")
+	if a != b || len(a) != 32 {
+		t.Fatalf("ID not stable/32-hex: %q vs %q", a, b)
+	}
+	if ID("ycsb:records=200000") == a {
+		t.Fatal("distinct identities collide")
+	}
+}
+
+// TestCorruptionTruncation: every byte-level truncation of a valid
+// snapshot file must load as a counted miss, never an error or a wrong
+// payload — the residue of a writer killed mid-publish (or bit rot)
+// degrades to regeneration.
+func TestCorruptionTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	id := ID("w")
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	if err := s.Save(id, "w", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id+suffix)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut += 7 {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh := open(t, dir)
+		if got, ok := fresh.Load(id); ok {
+			t.Fatalf("truncated-at-%d file loaded: %q", cut, got)
+		}
+		if st := fresh.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+			t.Fatalf("truncated-at-%d stats = %+v, want 1 corrupt miss", cut, st)
+		}
+	}
+
+	// Flipped payload byte: header parses, hash must catch it.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := open(t, dir)
+	if _, ok := fresh.Load(id); ok {
+		t.Fatal("bit-flipped payload loaded")
+	}
+	if st := fresh.Stats(); st.Corrupt != 1 {
+		t.Fatalf("bit-flip stats = %+v", st)
+	}
+
+	// Trailing junk after the payload: writer/header disagreement.
+	if err := os.WriteFile(path, append(append([]byte(nil), full...), 'x'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh = open(t, dir)
+	if _, ok := fresh.Load(id); ok {
+		t.Fatal("file with trailing junk loaded")
+	}
+
+	// A save over the corrupt file repairs it.
+	if err := fresh.Save(id, "w", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := fresh.Load(id); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("re-save did not repair the corrupt snapshot")
+	}
+}
+
+// TestHeaderLengthBomb: a garbled header whose Len field claims far
+// more payload than the file holds must degrade to a counted corrupt
+// miss — never a huge allocation or a makeslice panic.
+func TestHeaderLengthBomb(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	id := ID("w")
+	if err := s.Save(id, "w", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id+suffix)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{`"len":9000000000000000000`, `"len":-7`} {
+		rewritten := []byte(strings.Replace(string(full), `"len":7`, bad, 1))
+		if bytes.Equal(rewritten, full) {
+			t.Fatalf("len field not found to rewrite as %s", bad)
+		}
+		if err := os.WriteFile(path, rewritten, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh := open(t, dir)
+		if _, ok := fresh.Load(id); ok {
+			t.Fatalf("length-bombed (%s) snapshot loaded", bad)
+		}
+		if st := fresh.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+			t.Fatalf("length bomb (%s) stats = %+v, want 1 corrupt miss", bad, st)
+		}
+	}
+}
+
+// TestContains: the header-only presence check distinguishes present,
+// absent, foreign-version and header-corrupt snapshots without
+// touching the hit/miss accounting.
+func TestContains(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	id := ID("w")
+	if s.Contains(id) {
+		t.Fatal("empty store contains id")
+	}
+	if err := s.Save(id, "w", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(id) {
+		t.Fatal("saved snapshot not contained")
+	}
+	// A corrupt payload still "contains": Contains trades payload
+	// verification for cheapness; the later Load catches it.
+	path := filepath.Join(dir, id+suffix)
+	if err := os.WriteFile(path, []byte("garbled header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(id) {
+		t.Fatal("garbled header reported as contained")
+	}
+	if st := s.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("Contains touched the hit/miss accounting: %+v", st)
+	}
+}
+
+// TestVersionInvalidation: a snapshot written under a foreign
+// FormatVersion is a counted invalidated miss, distinct from
+// corruption.
+func TestVersionInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	id := ID("w")
+	if err := s.Save(id, "w", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id+suffix)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten := bytes.Replace(full, []byte(FormatVersion), []byte("bulkpim-snapshot-v0"), 1)
+	if bytes.Equal(rewritten, full) {
+		t.Fatal("version string not found in header")
+	}
+	if err := os.WriteFile(path, rewritten, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := open(t, dir)
+	if _, ok := fresh.Load(id); ok {
+		t.Fatal("foreign-version snapshot loaded")
+	}
+	if st := fresh.Stats(); st.Invalidated != 1 || st.Corrupt != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 invalidated miss", st)
+	}
+}
+
+// TestWrongIDRejected: a file renamed to another id's slot must not
+// serve the foreign payload — and since such a file can never be
+// served, even an age-bounded GC must reap it as broken.
+func TestWrongIDRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save(ID("a"), "a", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, ID("a")+suffix), filepath.Join(dir, ID("b")+suffix)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(ID("b")); ok {
+		t.Fatal("renamed snapshot served under wrong id")
+	}
+	if s.Contains(ID("b")) {
+		t.Fatal("renamed snapshot reported as contained")
+	}
+	removed, _, err := s.GC(time.Hour, time.Now())
+	if err != nil || removed != 1 {
+		t.Fatalf("age-bounded GC removed %d files, %v; want the misnamed file", removed, err)
+	}
+}
+
+// TestConcurrentWriters: many goroutines saving and loading the same
+// ids concurrently (the fleet race: several workers generating the
+// same database at once) must never observe a torn or wrong payload.
+// Run under -race in CI.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	const ids, iters, writers = 4, 20, 8
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte(fmt.Sprintf("workload-%d:", i)), 100)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := open(t, dir)
+			for n := 0; n < iters; n++ {
+				i := (w + n) % ids
+				id := ID(fmt.Sprintf("db-%d", i))
+				if err := s.Save(id, fmt.Sprintf("db-%d", i), payload(i)); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+				if got, ok := s.Load(id); ok && !bytes.Equal(got, payload(i)) {
+					t.Errorf("torn read for db-%d", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := open(t, dir)
+	for i := 0; i < ids; i++ {
+		if got, ok := s.Load(ID(fmt.Sprintf("db-%d", i))); !ok || !bytes.Equal(got, payload(i)) {
+			t.Fatalf("db-%d missing or wrong after concurrent writes", i)
+		}
+	}
+	// No temp residue left behind by healthy writers.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if isTempName(e.Name()) {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestListAndGC: List reports labels and flags broken files; GC
+// removes aged and broken snapshots (and writer-crash temp residue)
+// while keeping fresh healthy ones.
+func TestListAndGC(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save(ID("a"), "label-a", []byte("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(ID("b"), "label-b", []byte("bbb")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt b, plant an orphaned temp file and a foreign file.
+	if err := os.WriteFile(filepath.Join(dir, ID("b")+suffix), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "."+ID("c")+".tmp-123"), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("List = %d entries, want 2 (foreign/temp files excluded): %+v", len(infos), infos)
+	}
+	byID := map[string]Info{}
+	for _, in := range infos {
+		byID[in.ID] = in
+	}
+	if in := byID[ID("a")]; in.Label != "label-a" || in.Err != nil || in.Size == 0 {
+		t.Fatalf("healthy entry = %+v", in)
+	}
+	if in := byID[ID("b")]; in.Err == nil {
+		t.Fatalf("corrupt entry not flagged: %+v", in)
+	}
+
+	// Age-bounded GC: nothing is old, so only broken files (corrupt b)
+	// go; the orphan temp is young, so it stays.
+	now := time.Now()
+	removed, freed, err := s.GC(time.Hour, now)
+	if err != nil || removed != 1 || freed == 0 {
+		t.Fatalf("GC(1h) = %d removed, %d freed, %v; want the corrupt file only", removed, freed, err)
+	}
+	if _, ok := s.Load(ID("a")); !ok {
+		t.Fatal("GC removed a fresh healthy snapshot")
+	}
+
+	// Full GC (maxAge 0): everything of ours goes, foreign files stay.
+	removed, _, err = s.GC(0, now)
+	if err != nil || removed != 2 { // snapshot a + orphan temp
+		t.Fatalf("GC(0) = %d removed, %v; want 2", removed, err)
+	}
+	if _, ok := s.Load(ID("a")); ok {
+		t.Fatal("snapshot survived full GC")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("GC deleted a foreign file")
+	}
+}
+
+// TestHeaderIsOneJSONLine: the on-disk format promise other tooling
+// (and future versions) rely on — first line parses standalone as the
+// JSON header.
+func TestHeaderIsOneJSONLine(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	id := ID("w")
+	if err := s.Save(id, "w", []byte("multi\nline\npayload")); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, id+suffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(string(full), "\n")
+	var hdr header
+	if err := json.Unmarshal([]byte(first), &hdr); err != nil {
+		t.Fatalf("first line is not standalone JSON: %v", err)
+	}
+	if hdr.Version != FormatVersion || hdr.ID != id || hdr.Label != "w" {
+		t.Fatalf("header = %+v", hdr)
+	}
+}

@@ -1,0 +1,56 @@
+package tpch
+
+// Workload snapshot serialization for the content-addressed snapshot
+// store (internal/snapshot). A TPC-H workload is cheap to construct
+// next to YCSB's, but the snapshot path treats every workload kind
+// uniformly: the "zero workload generations on a warm run" invariant
+// the harness gates in CI holds suite-wide, not just for the expensive
+// databases.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+)
+
+// wireVersion guards the gob shape of Workload (and the QuerySpec /
+// Term structs it embeds). Bump on any incompatible change.
+const wireVersion = "tpch-wire-v1"
+
+// wireWorkload wraps the workload with the wire version.
+type wireWorkload struct {
+	Version string
+	W       Workload
+}
+
+// Snapshot serializes the prepared workload.
+func (w *Workload) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireWorkload{Version: wireVersion, W: *w}); err != nil {
+		return nil, fmt.Errorf("tpch: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// FromSnapshot reconstructs a workload serialized by Snapshot and
+// verifies it was built from the same inputs — a stale or mislabeled
+// snapshot regenerates instead of silently running a different query
+// section. Verification compares the stored fields against the
+// requested inputs (and the scaled scope/run counts NewWorkload
+// derives) without reconstructing the workload.
+func FromSnapshot(data []byte, q QuerySpec, nThreads int, scale float64, verify bool) (*Workload, error) {
+	var ww wireWorkload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ww); err != nil {
+		return nil, fmt.Errorf("tpch: snapshot decode: %w", err)
+	}
+	if ww.Version != wireVersion {
+		return nil, fmt.Errorf("tpch: snapshot wire version %q, want %q", ww.Version, wireVersion)
+	}
+	w := &ww.W
+	if !reflect.DeepEqual(w.Q, q) || w.Threads != nThreads || w.Verify != verify ||
+		w.Scopes != scaledScopes(q, nThreads, scale) || w.Runs != scaledRuns(q, scale) {
+		return nil, fmt.Errorf("tpch: snapshot %s does not match requested workload", ww.W.Q.Name)
+	}
+	return w, nil
+}

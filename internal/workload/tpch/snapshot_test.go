@@ -1,0 +1,38 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRoundtrip: a restored workload equals the prepared one;
+// mismatched construction inputs and garbage are explicit errors.
+func TestSnapshotRoundtrip(t *testing.T) {
+	q, ok := QueryByName("q6")
+	if !ok {
+		t.Fatal("q6 missing")
+	}
+	w := NewWorkload(q, 4, 0.02, false)
+	data, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromSnapshot(data, q, 4, 0.02, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Fatalf("restored workload differs:\n%+v\nvs\n%+v", got, w)
+	}
+
+	if _, err := FromSnapshot(data, q, 8, 0.02, false); err == nil {
+		t.Fatal("snapshot accepted under foreign thread count")
+	}
+	other, _ := QueryByName("q1")
+	if _, err := FromSnapshot(data, other, 4, 0.02, false); err == nil {
+		t.Fatal("snapshot accepted under foreign query")
+	}
+	if _, err := FromSnapshot([]byte("not gob"), q, 4, 0.02, false); err == nil {
+		t.Fatal("garbage accepted as snapshot")
+	}
+}

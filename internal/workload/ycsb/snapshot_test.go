@@ -1,0 +1,98 @@
+package ycsb
+
+import (
+	"reflect"
+	"testing"
+
+	"bulkpim/internal/system"
+)
+
+// snapParams reuses the functional-run helper but at non-verify
+// defaults: snapshots serve performance sweeps.
+func snapParams() Params {
+	p := smallParams(12)
+	p.Verify = false
+	return p
+}
+
+// TestSnapshotRoundtrip: a restored workload must be structurally
+// identical to the generated one — params, permutation, op sequence
+// and every Precomputed match cache.
+func TestSnapshotRoundtrip(t *testing.T) {
+	p := snapParams()
+	w := New(p)
+	w.Precompute()
+	data, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromSnapshot(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.P, w.P) || got.Scopes != w.Scopes ||
+		got.permA != w.permA || got.permC != w.permC || got.inserted != w.inserted {
+		t.Fatalf("restored workload header differs: %+v vs %+v", got, w)
+	}
+	if len(got.ops) != len(w.ops) {
+		t.Fatalf("restored %d ops, want %d", len(got.ops), len(w.ops))
+	}
+	for i := range w.ops {
+		if !reflect.DeepEqual(*got.ops[i], *w.ops[i]) {
+			t.Fatalf("op %d differs:\n%+v\nvs\n%+v", i, *got.ops[i], *w.ops[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRunEquivalence is the contract the snapshot store
+// depends on: simulating a restored workload must produce exactly the
+// result of simulating the original — snapshots and generation are
+// interchangeable, so reports stay byte-identical.
+func TestSnapshotRunEquivalence(t *testing.T) {
+	p := snapParams()
+	w := New(p)
+	w.Precompute()
+	data, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := FromSnapshot(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := system.Default()
+	want, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(restored, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored workload simulates differently:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestFromSnapshotRejectsMismatch: version skew and foreign params are
+// explicit errors, not silently wrong workloads.
+func TestFromSnapshotRejectsMismatch(t *testing.T) {
+	p := snapParams()
+	w := New(p)
+	w.Precompute()
+	data, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := p
+	other.Operations++
+	if _, err := FromSnapshot(data, other); err == nil {
+		t.Fatal("snapshot accepted under foreign params")
+	}
+	if _, err := FromSnapshot([]byte("not gob"), p); err == nil {
+		t.Fatal("garbage accepted as snapshot")
+	}
+}

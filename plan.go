@@ -234,7 +234,10 @@ func (s ShardSummary) String() string {
 // opts.Cache (set one: an execute-only run without a cache computes
 // results and drops them), whose file the coordinator later merges and
 // reports from. With Shard{0, 1} it executes the whole suite — a cache
-// pre-warmer.
+// pre-warmer. With opts.Snapshots set, the shard's workloads are
+// loaded from (and published to) the content-addressed snapshot store,
+// so shards sharing a filesystem generate each database at most once
+// between them instead of once per shard process.
 //
 // Dedup is by fingerprint, not key: the fingerprint content-addresses
 // the simulation (final config + workload identity), so equal
