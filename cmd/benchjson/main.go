@@ -1,0 +1,184 @@
+// Command benchjson converts `go test -bench` output into the
+// BENCH_sim_throughput.json artifact and gates paired speedups.
+//
+// Each benchmark line becomes a record carrying ns/op plus any custom
+// metrics (events/sec, ns/row-bit). For every pair Foo /
+// FooBitSerial found in the same input, the tool computes speedup =
+// ns/op(FooBitSerial) / ns/op(Foo) — the baseline is recorded in the
+// same run, on the same machine, so the ratio is load-comparable.
+//
+//	go test -bench ... ./... | benchjson -min-speedup 3 -gate AddFields,MulFields > BENCH_sim_throughput.json
+//
+// With -min-speedup > 0, a gated pair below the threshold fails the
+// run (exit 1) after writing the JSON, so CI still uploads the
+// artifact that shows the regression. -gate selects which pairs the
+// threshold applies to (default: every pair found).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	minSpeedup := fs.Float64("min-speedup", 0, "fail (exit 1) when a gated Foo/FooBitSerial pair is below this ratio (0 = report only)")
+	gate := fs.String("gate", "", "comma-separated benchmark names the -min-speedup gate applies to (default: every pair)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	benches, err := parseBench(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		return 2
+	}
+	report := Report{Benchmarks: benches, Speedups: speedups(benches)}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	if *minSpeedup <= 0 {
+		return 0
+	}
+	gated := gatedNames(*gate, report.Speedups)
+	fail := false
+	for _, name := range gated {
+		ratio, ok := report.Speedups[name]
+		if !ok {
+			fmt.Fprintf(stderr, "benchjson: gated pair %s/%sBitSerial not found in input\n", name, name)
+			fail = true
+			continue
+		}
+		if ratio < *minSpeedup {
+			fmt.Fprintf(stderr, "benchjson: %s speedup %.2fx below the %.2fx gate\n", name, ratio, *minSpeedup)
+			fail = true
+		} else {
+			fmt.Fprintf(stderr, "benchjson: %s speedup %.2fx (gate %.2fx)\n", name, ratio, *minSpeedup)
+		}
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// parseBench extracts benchmark result lines: name, iteration count,
+// then (value, unit) pairs. GOMAXPROCS suffixes (-8) are stripped from
+// names so pairing is machine-independent.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // PASS/ok/header lines that happen to start with Benchmark
+		}
+		b := Benchmark{Name: benchName(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+func benchName(s string) string {
+	s = strings.TrimPrefix(s, "Benchmark")
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+// speedups pairs every Foo with its FooBitSerial baseline from the
+// same run.
+func speedups(benches []Benchmark) map[string]float64 {
+	byName := map[string]Benchmark{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	out := map[string]float64{}
+	for name, base := range byName {
+		fast, ok := byName[strings.TrimSuffix(name, "BitSerial")]
+		if !strings.HasSuffix(name, "BitSerial") || !ok || fast.NsPerOp <= 0 {
+			continue
+		}
+		out[fast.Name] = base.NsPerOp / fast.NsPerOp
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// gatedNames resolves the -gate list; empty means every pair, sorted
+// for stable diagnostics.
+func gatedNames(gate string, pairs map[string]float64) []string {
+	if gate != "" {
+		var names []string
+		for _, n := range strings.Split(gate, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	names := make([]string, 0, len(pairs))
+	for n := range pairs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Canned `go test -bench` output: custom metrics, a GOMAXPROCS suffix,
+// paired BitSerial baselines, an unpaired benchmark, and noise lines.
+const canned = `goos: linux
+goarch: amd64
+pkg: bulkpim/internal/pim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernel-4            	 8210526	       145.5 ns/op	   6873216 events/sec
+BenchmarkAddFields           	    2731	    127641 ns/op	         7.791 ns/row-bit
+BenchmarkAddFieldsBitSerial  	     651	    551359 ns/op	        33.65 ns/row-bit
+BenchmarkMulFields           	    2533	    135004 ns/op	         0.2575 ns/row-bit
+BenchmarkMulFieldsBitSerial  	      33	  10571324 ns/op	        20.16 ns/row-bit
+BenchmarkPopCount            	 2924404	       205.1 ns/op	         0.4005 ns/row-bit
+BenchmarkPopCountBitSerial   	 1799893	       353.8 ns/op	         0.6910 ns/row-bit
+PASS
+ok  	bulkpim/internal/pim	3.287s
+`
+
+func runCanned(t *testing.T, args ...string) (Report, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(canned), &stdout, &stderr)
+	var rep Report
+	if stdout.Len() > 0 {
+		if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+		}
+	}
+	return rep, stderr.String(), code
+}
+
+func TestParseAndSpeedups(t *testing.T) {
+	rep, _, code := runCanned(t)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if len(rep.Benchmarks) != 7 {
+		t.Fatalf("parsed %d benchmarks, want 7", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Name != "Kernel" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", rep.Benchmarks[0].Name)
+	}
+	if got := rep.Benchmarks[0].Metrics["events/sec"]; got != 6873216 {
+		t.Fatalf("events/sec = %v", got)
+	}
+	if got := rep.Benchmarks[1].NsPerOp; got != 127641 {
+		t.Fatalf("ns/op = %v", got)
+	}
+	want := map[string]float64{
+		"AddFields": 551359.0 / 127641,
+		"MulFields": 10571324.0 / 135004,
+		"PopCount":  353.8 / 205.1,
+	}
+	for name, ratio := range want {
+		if got := rep.Speedups[name]; got < ratio*0.999 || got > ratio*1.001 {
+			t.Fatalf("speedup[%s] = %v, want ~%v", name, got, ratio)
+		}
+	}
+	if _, ok := rep.Speedups["Kernel"]; ok {
+		t.Fatal("unpaired Kernel must not get a speedup entry")
+	}
+}
+
+// The gate passes when every gated pair clears the threshold, even if
+// an ungated pair (PopCount, load-bound) is below it.
+func TestGateSelectsPairs(t *testing.T) {
+	_, stderr, code := runCanned(t, "-min-speedup", "3", "-gate", "AddFields,MulFields")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "AddFields speedup") {
+		t.Fatalf("missing gate diagnostic:\n%s", stderr)
+	}
+}
+
+func TestGateFailsBelowThreshold(t *testing.T) {
+	_, stderr, code := runCanned(t, "-min-speedup", "3")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (PopCount is below 3x)", code)
+	}
+	if !strings.Contains(stderr, "PopCount speedup") || !strings.Contains(stderr, "below") {
+		t.Fatalf("stderr:\n%s", stderr)
+	}
+}
+
+// A gated name with no pair in the input is a hard failure — a renamed
+// benchmark must not silently disable its gate.
+func TestGateMissingPairFails(t *testing.T) {
+	_, stderr, code := runCanned(t, "-min-speedup", "3", "-gate", "AddFieldz")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "not found") {
+		t.Fatalf("stderr:\n%s", stderr)
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("PASS\n"), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"strings"
+)
+
+// Build attribution and profile capture: BENCH_* artifacts, worker logs
+// and pprof files are only useful if they can be tied to the build that
+// produced them, and the kernel rewrite in internal/sim was driven by
+// exactly the profiles these flags capture.
+
+// buildLine returns the one-line build identity: module path, module
+// version, Go toolchain, and VCS revision/dirty state when the binary
+// was built from a checkout.
+func buildLine() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "pimbench (no build info)"
+	}
+	var b strings.Builder
+	path := info.Main.Path
+	if path == "" {
+		path = "bulkpim"
+	}
+	ver := info.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	fmt.Fprintf(&b, "pimbench %s %s %s", path, ver, info.GoVersion)
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		if modified == "true" {
+			b.WriteString(" (dirty)")
+		}
+	}
+	return b.String()
+}
+
+// versionCmd prints the build identity; -v adds the full build-settings
+// dump (compiler flags, CGO state, VCS timestamps).
+func versionCmd(args []string, stdout, stderr io.Writer) int {
+	verbose := false
+	for _, a := range args {
+		switch a {
+		case "-v", "--v", "-verbose", "--verbose":
+			verbose = true
+		default:
+			fmt.Fprintf(stderr, "pimbench: usage: pimbench version [-v]\n")
+			return 2
+		}
+	}
+	fmt.Fprintln(stdout, buildLine())
+	if verbose {
+		if info, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range info.Settings {
+				fmt.Fprintf(stdout, "\t%s=%s\n", s.Key, s.Value)
+			}
+		}
+	}
+	return 0
+}
+
+// startProfiles begins CPU profiling when cpuPath is non-empty and
+// returns a stop function that finishes the CPU profile and — when
+// memPath is non-empty — snapshots the live heap after a GC. The stop
+// function is safe to call exactly once and is never nil.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -9,6 +9,10 @@
 //	pimbench coord [flags]      dispatch jobs to a fault-tolerant worker fleet
 //	pimbench work [flags]       worker protocol endpoint (spawned by coord)
 //	pimbench snapshot [flags]   inspect / garbage-collect workload snapshots
+//	pimbench version [-v]       print build identity (module, Go, VCS revision)
+//
+// `run` and `work` accept -cpuprofile/-memprofile to capture pprof
+// profiles of the simulation (see README "Profiling & sim performance").
 //
 //	pimbench -exp fig7 -scale quick
 //	pimbench -exp all  -scale medium -parallel 8 -v
@@ -102,8 +106,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return workCmd(args[1:], stdin, stdout, stderr)
 		case "snapshot":
 			return snapshotCmd(args[1:], stdout, stderr)
+		case "version":
+			return versionCmd(args[1:], stdout, stderr)
 		default:
-			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge, coord, work, snapshot)\n", args[0])
+			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge, coord, work, snapshot, version)\n", args[0])
 			return 2
 		}
 	}
@@ -130,6 +136,8 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", false, "resume an interrupted run from the result cache (defaults -cache-dir to "+defaultCacheDir+")")
 	snapDir := fs.String("snapshot-dir", "", "memoize generated workloads here (content-addressed) and load instead of regenerating on re-runs; shareable across a fleet")
 	shardFlag := fs.String("shard", "", "execute only shard i/n of the planned jobs (stable hash of the job key) into the cache; no reports are built")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (pprof) of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (pprof) at run end to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -160,6 +168,17 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: profile: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "pimbench: profile: %v\n", err)
+		}
+	}()
 
 	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed, Parallelism: *parallel}
 	if *verbose {
@@ -369,6 +388,7 @@ func coordCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pimbench: coord needs -cache-dir: the coordinator streams results into a cache the report pass reads")
 		return 2
 	}
+	fmt.Fprintf(stderr, "pimbench: build: %s\n", buildLine())
 
 	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
 	if *verbose {
@@ -422,6 +442,8 @@ func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	snapDir := fs.String("snapshot-dir", "", "workload snapshot store shared with the coordinator and sibling workers")
 	verbose := fs.Bool("v", false, "log served jobs on stderr")
 	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: exit 3 when job N+1 arrives")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (pprof) of this worker to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (pprof) at worker exit to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -432,6 +454,17 @@ func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
 		return 2
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: profile: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "pimbench: profile: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(stderr, "pimbench: build: %s\n", buildLine())
 	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
 	if *verbose {
 		opts.Log = func(format string, args ...interface{}) {

@@ -537,3 +537,57 @@ func TestRunAllTimingFooter(t *testing.T) {
 		}
 	}
 }
+
+// TestRunProfiles drives `run -cpuprofile/-memprofile` end-to-end: both
+// files must come back as valid (gzip-framed protobuf) pprof profiles.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, heap := dir+"/cpu.prof", dir+"/heap.prof"
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"run", "-exp", "fig3", "-scale", "bench",
+		"-cpuprofile", cpu, "-memprofile", heap}, nil, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	for _, path := range []string{cpu, heap} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Fatalf("%s: not a gzip-framed pprof profile (%d bytes, magic %x)",
+				path, len(data), data[:min(len(data), 2)])
+		}
+	}
+}
+
+// TestRunProfileBadPath: an uncreatable profile path must fail loudly,
+// not silently drop the profile.
+func TestRunProfileBadPath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"run", "-exp", "fig3", "-scale", "bench",
+		"-cpuprofile", t.TempDir() + "/no/such/dir/cpu.prof"}, nil, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "profile") {
+		t.Fatalf("stderr missing profile error:\n%s", stderr.String())
+	}
+}
+
+// TestVersion checks the build-identity report: module path and Go
+// toolchain must appear so BENCH_* artifacts are attributable.
+func TestVersion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"version"}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "bulkpim") || !strings.Contains(out, "go1.") {
+		t.Fatalf("version output missing module path or Go version:\n%s", out)
+	}
+	stdout.Reset()
+	if code := run([]string{"version", "-bogus"}, nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("version -bogus: exit code %d, want 2", code)
+	}
+}

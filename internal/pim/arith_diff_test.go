@@ -1,0 +1,346 @@
+package pim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bulkpim/internal/mem"
+)
+
+// Differential property tests: the word-packed engine and arithmetic are
+// pinned, byte-for-byte over the whole array image, against the retained
+// bit-serial reference implementations below — the original one-Bit/SetBit-
+// per-row loops. Geometries straddle word boundaries (rows 1..512,
+// including non-multiples of 64) and widths span 1..64.
+
+// refColOp is the bit-serial ColOp: one Bit/SetBit pair per row.
+func refColOp(a *ArrayImage, op BoolOp, dst, src1, src2 int) {
+	for r := 0; r < a.g.Rows; r++ {
+		a.SetBit(r, dst, op(a.Bit(r, src1), a.Bit(r, src2)))
+	}
+}
+
+func refColSet(a *ArrayImage, dst int, v bool) {
+	for r := 0; r < a.g.Rows; r++ {
+		a.SetBit(r, dst, v)
+	}
+}
+
+func refColCopy(a *ArrayImage, dst, src int) {
+	for r := 0; r < a.g.Rows; r++ {
+		a.SetBit(r, dst, a.Bit(r, src))
+	}
+}
+
+func refTransposeColToRow(a *ArrayImage, dst, src, n int) {
+	for i := 0; i < n; i++ {
+		a.SetBit(dst, i, a.Bit(i, src))
+	}
+}
+
+// refCmpConst is the bit-serial magnitude comparator, as originally
+// implemented.
+func refCmpConst(a *ArrayImage, pred Predicate, fieldBase, width int, k uint64, dstCol, tmpGT, tmpEQ int) int {
+	micro := 0
+	refColSet(a, tmpGT, false)
+	refColSet(a, tmpEQ, true)
+	micro += 2
+	for b := 0; b < width; b++ {
+		col := fieldBase + b
+		kbit := k&(1<<uint(width-1-b)) != 0
+		if kbit {
+			refColOp(a, OpAND, tmpEQ, tmpEQ, col)
+			micro++
+		} else {
+			for r := 0; r < a.g.Rows; r++ {
+				eq := a.Bit(r, tmpEQ)
+				x := a.Bit(r, col)
+				if eq && x {
+					a.SetBit(r, tmpGT, true)
+				}
+				if x {
+					a.SetBit(r, tmpEQ, false)
+				}
+			}
+			micro += 2
+		}
+	}
+	switch pred {
+	case PredEQ:
+		refColCopy(a, dstCol, tmpEQ)
+		micro++
+	case PredNE:
+		refColOp(a, OpNOR, dstCol, tmpEQ, tmpEQ)
+		micro++
+	case PredGT:
+		refColCopy(a, dstCol, tmpGT)
+		micro++
+	case PredGE:
+		refColOp(a, OpOR, dstCol, tmpGT, tmpEQ)
+		micro++
+	case PredLT:
+		refColOp(a, OpOR, dstCol, tmpGT, tmpEQ)
+		refColOp(a, OpNOR, dstCol, dstCol, dstCol)
+		micro += 2
+	case PredLE:
+		refColOp(a, OpNOR, dstCol, tmpGT, tmpGT)
+		micro++
+	}
+	return micro
+}
+
+// refAddFields is the bit-serial ripple adder, as originally implemented.
+func refAddFields(img *ArrayImage, aBase, bBase, dstBase, width, carryCol, tmpCol int) int {
+	micro := 1
+	refColSet(img, carryCol, false)
+	for bit := width - 1; bit >= 0; bit-- {
+		a := aBase + bit
+		b := bBase + bit
+		d := dstBase + bit
+		refColOp(img, OpXOR, tmpCol, a, b)
+		refColOp(img, OpXOR, d, tmpCol, carryCol)
+		for r := 0; r < img.g.Rows; r++ {
+			av, bv, cv := img.Bit(r, a), img.Bit(r, b), img.Bit(r, carryCol)
+			img.SetBit(r, carryCol, (av && bv) || ((av != bv) && cv))
+		}
+		micro += 5
+	}
+	return micro
+}
+
+func refAddConst(img *ArrayImage, aBase, dstBase, width int, k uint64, carryCol int) int {
+	micro := 1
+	refColSet(img, carryCol, false)
+	for bit := width - 1; bit >= 0; bit-- {
+		a := aBase + bit
+		d := dstBase + bit
+		kbit := k&(1<<uint(width-1-bit)) != 0
+		for r := 0; r < img.g.Rows; r++ {
+			av, cv := img.Bit(r, a), img.Bit(r, carryCol)
+			bv := kbit
+			img.SetBit(r, d, (av != bv) != cv)
+			img.SetBit(r, carryCol, (av && bv) || ((av != bv) && cv))
+		}
+		micro += 3
+	}
+	return micro
+}
+
+// refMulFields is the bit-serial shift-and-add multiplier, materializing
+// the gated addend in gateCol like the word-packed version.
+func refMulFields(img *ArrayImage, aBase, bBase, dstBase, width, carryCol, gateCol int) int {
+	micro := 0
+	for bit := 0; bit < width; bit++ {
+		refColSet(img, dstBase+bit, false)
+	}
+	micro += width
+	for shift := 0; shift < width; shift++ {
+		bCol := bBase + width - 1 - shift
+		refColSet(img, carryCol, false)
+		micro++
+		for bit := width - 1; bit >= 0; bit-- {
+			srcBit := bit + shift
+			d := dstBase + bit
+			for r := 0; r < img.g.Rows; r++ {
+				var av bool
+				if srcBit < width {
+					av = img.Bit(r, aBase+srcBit)
+				}
+				gv := av && img.Bit(r, bCol)
+				img.SetBit(r, gateCol, gv)
+				dv := img.Bit(r, d)
+				cv := img.Bit(r, carryCol)
+				img.SetBit(r, d, (dv != gv) != cv)
+				img.SetBit(r, carryCol, (dv && gv) || ((dv != gv) && cv))
+			}
+			micro += 6
+		}
+	}
+	return micro
+}
+
+func refPopCountColumn(img *ArrayImage, col, n int) (count, microOps int) {
+	for r := 0; r < n; r++ {
+		if img.Bit(r, col) {
+			count++
+		}
+	}
+	levels := 0
+	for v := n; v > 1; v >>= 1 {
+		levels++
+	}
+	return count, 2 * levels * 8
+}
+
+// diffRows are the row counts exercised: word-multiple, off-by-one around
+// every boundary, and sub-word arrays.
+var diffRows = []int{1, 3, 63, 64, 65, 100, 127, 128, 200, 511, 512}
+
+// twinImages returns two independent images with identical pseudo-random
+// contents for the given row count.
+func twinImages(rng *rand.Rand, rows int) (got, want *ArrayImage) {
+	g := Geometry{Rows: rows, Cols: mem.LineSize * 8, Arrays: 1}
+	got = LoadArray(mem.NewBacking(), 0, g, 0)
+	want = LoadArray(mem.NewBacking(), 0, g, 0)
+	line := make([]byte, mem.LineSize)
+	for r := 0; r < rows; r++ {
+		rng.Read(line)
+		got.SetRow(r, line)
+		want.SetRow(r, line)
+	}
+	return got, want
+}
+
+func assertSameImage(t *testing.T, ctx string, got, want *ArrayImage) {
+	t.Helper()
+	for r := 0; r < got.g.Rows; r++ {
+		if !bytes.Equal(got.Row(r), want.Row(r)) {
+			t.Fatalf("%s: row %d diverges from bit-serial reference\n packed: %x\n serial: %x",
+				ctx, r, got.Row(r), want.Row(r))
+		}
+	}
+}
+
+func TestColOpsMatchBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := []struct {
+		name string
+		op   BoolOp
+	}{{"nor", OpNOR}, {"and", OpAND}, {"or", OpOR}, {"xor", OpXOR}, {"nand", OpNAND}}
+	for _, rows := range diffRows {
+		for _, o := range ops {
+			got, want := twinImages(rng, rows)
+			got.ColOp(o.op, 7, 130, 300)
+			refColOp(want, o.op, 7, 130, 300)
+			assertSameImage(t, fmt.Sprintf("ColOp(%s) rows=%d", o.name, rows), got, want)
+		}
+		got, want := twinImages(rng, rows)
+		got.ColSet(9, true)
+		got.ColSet(10, false)
+		got.ColCopy(11, 130)
+		got.ColNot(12, 130)
+		refColSet(want, 9, true)
+		refColSet(want, 10, false)
+		refColCopy(want, 11, 130)
+		refColOp(want, OpNOR, 12, 130, 130)
+		assertSameImage(t, fmt.Sprintf("ColSet/Copy/Not rows=%d", rows), got, want)
+
+		n := rows
+		got.TransposeColToRow(0, 200, n)
+		refTransposeColToRow(want, 0, 200, n)
+		assertSameImage(t, fmt.Sprintf("TransposeColToRow rows=%d", rows), got, want)
+	}
+}
+
+func TestRowOpMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	got, want := twinImages(rng, 8)
+	for _, op := range []BoolOp{OpNOR, OpAND, OpOR, OpXOR, OpNAND} {
+		got.RowOp(op, 3, 1, 2)
+		for c := 0; c < want.g.Cols; c++ {
+			want.SetBit(3, c, op(want.Bit(1, c), want.Bit(2, c)))
+		}
+		assertSameImage(t, "RowOp", got, want)
+	}
+}
+
+func TestCmpConstMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	preds := []Predicate{PredEQ, PredNE, PredLT, PredLE, PredGT, PredGE}
+	for _, rows := range diffRows {
+		for trial := 0; trial < 4; trial++ {
+			width := 1 + rng.Intn(64)
+			pred := preds[rng.Intn(len(preds))]
+			var k uint64
+			if width == 64 {
+				k = rng.Uint64()
+			} else {
+				k = rng.Uint64() & ((1 << uint(width)) - 1)
+			}
+			got, want := twinImages(rng, rows)
+			m1 := got.CmpConst(pred, 0, width, k, 470, 464, 465)
+			m2 := refCmpConst(want, pred, 0, width, k, 470, 464, 465)
+			if m1 != m2 {
+				t.Fatalf("CmpConst rows=%d width=%d pred=%s: micro %d != reference %d", rows, width, pred, m1, m2)
+			}
+			if m1 != CmpMicroOps(pred, width, k) {
+				t.Fatalf("CmpConst micro %d != CmpMicroOps %d", m1, CmpMicroOps(pred, width, k))
+			}
+			assertSameImage(t, fmt.Sprintf("CmpConst rows=%d width=%d pred=%s k=%d", rows, width, pred, k), got, want)
+		}
+	}
+}
+
+func TestAddFieldsMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, rows := range diffRows {
+		for trial := 0; trial < 4; trial++ {
+			width := 1 + rng.Intn(64)
+			got, want := twinImages(rng, rows)
+			m1 := got.AddFields(0, 64, 128, width, 448, 449)
+			m2 := refAddFields(want, 0, 64, 128, width, 448, 449)
+			if m1 != m2 || m1 != AddFieldsMicroOps(width) {
+				t.Fatalf("AddFields width=%d: micro %d, reference %d, formula %d", width, m1, m2, AddFieldsMicroOps(width))
+			}
+			assertSameImage(t, fmt.Sprintf("AddFields rows=%d width=%d", rows, width), got, want)
+		}
+	}
+}
+
+func TestAddConstMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, rows := range diffRows {
+		for trial := 0; trial < 4; trial++ {
+			width := 1 + rng.Intn(64)
+			var k uint64
+			if width == 64 {
+				k = rng.Uint64()
+			} else {
+				k = rng.Uint64() & ((1 << uint(width)) - 1)
+			}
+			got, want := twinImages(rng, rows)
+			m1 := got.AddConst(0, 64, width, k, 448)
+			m2 := refAddConst(want, 0, 64, width, k, 448)
+			if m1 != m2 {
+				t.Fatalf("AddConst width=%d: micro %d != reference %d", width, m1, m2)
+			}
+			assertSameImage(t, fmt.Sprintf("AddConst rows=%d width=%d k=%d", rows, width, k), got, want)
+		}
+	}
+}
+
+func TestMulFieldsMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, rows := range diffRows {
+		// Multiplication is quadratic; keep widths moderate but cross the
+		// interesting shift-out boundaries.
+		for _, width := range []int{1, 2, 7, 8, 13, 16} {
+			got, want := twinImages(rng, rows)
+			m1 := got.MulFields(0, 64, 128, width, 448, 449)
+			m2 := refMulFields(want, 0, 64, 128, width, 448, 449)
+			if m1 != m2 || m1 != MulFieldsMicroOps(width) {
+				t.Fatalf("MulFields width=%d: micro %d, reference %d, formula %d", width, m1, m2, MulFieldsMicroOps(width))
+			}
+			assertSameImage(t, fmt.Sprintf("MulFields rows=%d width=%d", rows, width), got, want)
+		}
+	}
+}
+
+func TestPopCountColumnMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, rows := range diffRows {
+		got, want := twinImages(rng, rows)
+		for _, n := range []int{rows, rows / 2, 1} {
+			if n < 1 {
+				continue
+			}
+			c1, m1 := got.PopCountColumn(300, n)
+			c2, m2 := refPopCountColumn(want, 300, n)
+			if c1 != c2 || m1 != m2 {
+				t.Fatalf("PopCountColumn rows=%d n=%d: got (%d, %d), reference (%d, %d)", rows, n, c1, m1, c2, m2)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package pim
 
 import (
+	"encoding/binary"
+
 	"bulkpim/internal/mem"
 )
 
@@ -14,6 +16,8 @@ type ArrayImage struct {
 	array int
 	rows  []byte // Rows * LineSize, row-major
 	dirty []bool // per row
+
+	planes [][]uint64 // reusable column bit-plane scratch (colview.go)
 }
 
 // LoadArray materializes array `array` of the scope at base from b.
@@ -84,11 +88,18 @@ var (
 )
 
 // ColOp computes dst = op(src1, src2) for every row of the array in
-// parallel: one hardware micro-operation.
+// parallel: one hardware micro-operation. Rows are processed as packed
+// 64-row words through the op's truth table, so any BoolOp — named or
+// custom — runs word-parallel.
 func (a *ArrayImage) ColOp(op BoolOp, dst, src1, src2 int) {
-	for r := 0; r < a.g.Rows; r++ {
-		a.SetBit(r, dst, op(a.Bit(r, src1), a.Bit(r, src2)))
+	x, y, d := a.plane(0), a.plane(1), a.plane(2)
+	a.LoadPlane(src1, x)
+	a.LoadPlane(src2, y)
+	t00, t01, t10, t11 := truthMasks(op)
+	for w := range d {
+		d[w] = wordOp(x[w], y[w], t00, t01, t10, t11)
 	}
+	a.StorePlane(dst, d)
 }
 
 // ColNot computes dst = NOT src for every row (NOR with itself).
@@ -99,25 +110,38 @@ func (a *ArrayImage) ColNot(dst, src int) {
 // ColSet initializes a column to a constant in every row (a bulk write
 // driven by the periphery).
 func (a *ArrayImage) ColSet(dst int, v bool) {
-	for r := 0; r < a.g.Rows; r++ {
-		a.SetBit(r, dst, v)
+	d := a.plane(0)
+	var word uint64
+	if v {
+		word = ^uint64(0)
 	}
+	for w := range d {
+		d[w] = word
+	}
+	a.StorePlane(dst, d)
 }
 
 // ColCopy copies a column (two NORs in MAGIC; we count it as issued
 // micro-ops at the program level).
 func (a *ArrayImage) ColCopy(dst, src int) {
-	for r := 0; r < a.g.Rows; r++ {
-		a.SetBit(r, dst, a.Bit(r, src))
-	}
+	d := a.plane(0)
+	a.LoadPlane(src, d)
+	a.StorePlane(dst, d)
 }
 
 // RowOp computes row dst = op(src1, src2) bitwise across all columns: the
-// row-direction counterpart used to combine result rows.
+// row-direction counterpart used to combine result rows. Rows are already
+// bit-packed bytes, so this runs 64 columns per word directly on the row
+// storage.
 func (a *ArrayImage) RowOp(op BoolOp, dst, src1, src2 int) {
-	for c := 0; c < a.g.Cols; c++ {
-		a.SetBit(dst, c, op(a.Bit(src1, c), a.Bit(src2, c)))
+	r1, r2, rd := a.Row(src1), a.Row(src2), a.Row(dst)
+	t00, t01, t10, t11 := truthMasks(op)
+	for o := 0; o+8 <= mem.LineSize; o += 8 {
+		x := binary.LittleEndian.Uint64(r1[o:])
+		y := binary.LittleEndian.Uint64(r2[o:])
+		binary.LittleEndian.PutUint64(rd[o:], wordOp(x, y, t00, t01, t10, t11))
 	}
+	a.dirty[dst] = true
 }
 
 // TransposeColToRow copies column src of rows [0, n) into row dst, bit i of
@@ -125,13 +149,15 @@ func (a *ArrayImage) RowOp(op BoolOp, dst, src1, src2 int) {
 // step: after a filter leaves one match bit per record (row) in a result
 // column, the transpose packs those bits into a single row — one cache
 // line — so the host reads one line per array instead of one per record.
+// The packed plane of the source column IS the destination row's bit
+// pattern, so the move is a gather plus word-wide row stores.
 func (a *ArrayImage) TransposeColToRow(dst, src, n int) {
 	if n > a.g.Cols {
 		panic("pim: transpose wider than row")
 	}
-	for i := 0; i < n; i++ {
-		a.SetBit(dst, i, a.Bit(i, src))
-	}
+	p := a.plane(0)
+	a.LoadPlane(src, p)
+	a.SetRowBits(dst, p, n)
 }
 
 // CmpConst computes, for every row in parallel, the comparison of the
@@ -143,58 +169,74 @@ func (a *ArrayImage) TransposeColToRow(dst, src, n int) {
 // MSB to LSB keeping running "greater" and "equal" flags. With the constant
 // known at compile time each bit step specializes to about two column ops.
 // The returned micro-op count is what the timing model charges.
+// The running "greater" and "equal" flags stay in packed registers for the
+// whole bit walk — only the compared field's columns are gathered, and the
+// flag columns are scattered once at the end — so the comparator costs one
+// gather plus two word ops per bit per 64 rows. Charged micro-ops are
+// unchanged: the timing model still sees the bit-serial op sequence.
 func (a *ArrayImage) CmpConst(pred Predicate, fieldBase, width int, k uint64, dstCol, tmpGT, tmpEQ int) int {
 	micro := 0
-	a.ColSet(tmpGT, false)
-	a.ColSet(tmpEQ, true)
+	gt, eq, x := a.plane(0), a.plane(1), a.plane(2)
+	for w := range gt {
+		gt[w] = 0
+		eq[w] = ^uint64(0)
+	}
 	micro += 2
 	for b := 0; b < width; b++ {
 		col := fieldBase + b // bit b is the MSB-first position
 		kbit := k&(1<<uint(width-1-b)) != 0
+		a.LoadPlane(col, x)
 		if kbit {
 			// x_b=0 while still equal => x < k at this bit; gt unchanged;
 			// eq &= x_b.
-			a.ColOp(OpAND, tmpEQ, tmpEQ, col)
+			for w := range eq {
+				eq[w] &= x[w]
+			}
 			micro++
 		} else {
 			// x_b=1 while still equal => x > k: gt |= eq & x_b; eq &= !x_b.
-			for r := 0; r < a.g.Rows; r++ {
-				eq := a.Bit(r, tmpEQ)
-				x := a.Bit(r, col)
-				if eq && x {
-					a.SetBit(r, tmpGT, true)
-				}
-				if x {
-					a.SetBit(r, tmpEQ, false)
-				}
+			for w := range eq {
+				gt[w] |= eq[w] & x[w]
+				eq[w] &^= x[w]
 			}
 			micro += 2
 		}
 	}
+	a.StorePlane(tmpGT, gt)
+	a.StorePlane(tmpEQ, eq)
 	// Combine flags per predicate.
+	d := a.plane(3)
 	switch pred {
 	case PredEQ:
-		a.ColCopy(dstCol, tmpEQ)
+		copy(d, eq)
 		micro++
 	case PredNE:
-		a.ColNot(dstCol, tmpEQ)
+		for w := range d {
+			d[w] = ^eq[w]
+		}
 		micro++
 	case PredGT:
-		a.ColCopy(dstCol, tmpGT)
+		copy(d, gt)
 		micro++
 	case PredGE:
-		a.ColOp(OpOR, dstCol, tmpGT, tmpEQ)
+		for w := range d {
+			d[w] = gt[w] | eq[w]
+		}
 		micro++
 	case PredLT:
-		a.ColOp(OpOR, dstCol, tmpGT, tmpEQ) // >=
-		a.ColNot(dstCol, dstCol)            // <
+		for w := range d {
+			d[w] = ^(gt[w] | eq[w]) // NOT >=
+		}
 		micro += 2
 	case PredLE:
-		a.ColNot(dstCol, tmpGT)
+		for w := range d {
+			d[w] = ^gt[w]
+		}
 		micro++
 	default:
 		panic("pim: unknown predicate")
 	}
+	a.StorePlane(dstCol, d)
 	return micro
 }
 

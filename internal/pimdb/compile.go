@@ -173,15 +173,17 @@ func (l Layout) CompileCount(scopeBase mem.Addr, src int, functional bool) *mem.
 }
 
 // gatherApply moves match column src of every data array into the result
-// array rows.
+// array rows. The packed bit plane of a match column is exactly the
+// result row's bit pattern, so each array's 512 match bits move as eight
+// word stores instead of 512 single-bit copies.
 func (l Layout) gatherApply(scopeBase mem.Addr, src int) func(*mem.Backing, uint64) {
 	return func(b *mem.Backing, writer uint64) {
 		res := pim.LoadArray(b, scopeBase, l.Geom, l.ResultArray)
+		plane := make([]uint64, res.PlaneWords())
 		for a := 0; a < l.DataArrays; a++ {
 			img := pim.LoadArray(b, scopeBase, l.Geom, a)
-			for r := 0; r < l.Geom.Rows; r++ {
-				res.SetBit(a, r, img.Bit(r, l.MatchCols[src]))
-			}
+			img.LoadPlane(l.MatchCols[src], plane)
+			res.SetRowBits(a, plane, l.Geom.Rows)
 		}
 		res.Store(b, writer)
 	}
