@@ -2,10 +2,12 @@
 // BENCH_sim_throughput.json artifact and gates paired speedups.
 //
 // Each benchmark line becomes a record carrying ns/op plus any custom
-// metrics (events/sec, ns/row-bit). For every pair Foo /
-// FooBitSerial found in the same input, the tool computes speedup =
-// ns/op(FooBitSerial) / ns/op(Foo) — the baseline is recorded in the
-// same run, on the same machine, so the ratio is load-comparable.
+// metrics (events/sec, ns/row-bit). For every benchmark with a paired
+// baseline in the same input — Foo / FooBitSerial (the bit-serial arith
+// references) or Foo / FooRef (the reference-scheduler baselines) — the
+// tool computes speedup = ns/op(baseline) / ns/op(Foo); the baseline is
+// recorded in the same run, on the same machine, so the ratio is
+// load-comparable.
 //
 //	go test -bench ... ./... | benchjson -min-speedup 3 -gate AddFields,MulFields > BENCH_sim_throughput.json
 //
@@ -80,7 +82,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	for _, name := range gated {
 		ratio, ok := report.Speedups[name]
 		if !ok {
-			fmt.Fprintf(stderr, "benchjson: gated pair %s/%sBitSerial not found in input\n", name, name)
+			fmt.Fprintf(stderr, "benchjson: gated pair for %s (no %s{%s} baseline) not found in input\n",
+				name, name, strings.Join(baselineSuffixes, ","))
 			fail = true
 			continue
 		}
@@ -142,8 +145,13 @@ func benchName(s string) string {
 	return s
 }
 
-// speedups pairs every Foo with its FooBitSerial baseline from the
-// same run.
+// baselineSuffixes mark baseline benchmarks: FooBitSerial is Foo's
+// bit-serial arith reference, FooRef its reference-scheduler (linear
+// conflict scan) counterpart.
+var baselineSuffixes = []string{"BitSerial", "Ref"}
+
+// speedups pairs every Foo with its baseline-suffixed counterpart from
+// the same run.
 func speedups(benches []Benchmark) map[string]float64 {
 	byName := map[string]Benchmark{}
 	for _, b := range benches {
@@ -151,11 +159,16 @@ func speedups(benches []Benchmark) map[string]float64 {
 	}
 	out := map[string]float64{}
 	for name, base := range byName {
-		fast, ok := byName[strings.TrimSuffix(name, "BitSerial")]
-		if !strings.HasSuffix(name, "BitSerial") || !ok || fast.NsPerOp <= 0 {
-			continue
+		for _, suffix := range baselineSuffixes {
+			if !strings.HasSuffix(name, suffix) {
+				continue
+			}
+			fast, ok := byName[strings.TrimSuffix(name, suffix)]
+			if !ok || fast.NsPerOp <= 0 {
+				continue
+			}
+			out[fast.Name] = base.NsPerOp / fast.NsPerOp
 		}
-		out[fast.Name] = base.NsPerOp / fast.NsPerOp
 	}
 	if len(out) == 0 {
 		return nil

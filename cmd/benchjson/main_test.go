@@ -8,7 +8,8 @@ import (
 )
 
 // Canned `go test -bench` output: custom metrics, a GOMAXPROCS suffix,
-// paired BitSerial baselines, an unpaired benchmark, and noise lines.
+// paired BitSerial and Ref baselines, an unpaired benchmark, and noise
+// lines.
 const canned = `goos: linux
 goarch: amd64
 pkg: bulkpim/internal/pim
@@ -22,6 +23,11 @@ BenchmarkPopCount            	 2924404	       205.1 ns/op	         0.4005 ns/row
 BenchmarkPopCountBitSerial   	 1799893	       353.8 ns/op	         0.6910 ns/row-bit
 PASS
 ok  	bulkpim/internal/pim	3.287s
+pkg: bulkpim/internal/memctrl
+BenchmarkSchedule            	    1036	   1129930 ns/op	   1359378 reqs/sec
+BenchmarkScheduleRef         	      56	  21874256 ns/op	     70220 reqs/sec
+PASS
+ok  	bulkpim/internal/memctrl	2.681s
 `
 
 func runCanned(t *testing.T, args ...string) (Report, string, int) {
@@ -42,8 +48,8 @@ func TestParseAndSpeedups(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d", code)
 	}
-	if len(rep.Benchmarks) != 7 {
-		t.Fatalf("parsed %d benchmarks, want 7", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 9 {
+		t.Fatalf("parsed %d benchmarks, want 9", len(rep.Benchmarks))
 	}
 	if rep.Benchmarks[0].Name != "Kernel" {
 		t.Fatalf("GOMAXPROCS suffix not stripped: %q", rep.Benchmarks[0].Name)
@@ -58,6 +64,7 @@ func TestParseAndSpeedups(t *testing.T) {
 		"AddFields": 551359.0 / 127641,
 		"MulFields": 10571324.0 / 135004,
 		"PopCount":  353.8 / 205.1,
+		"Schedule":  21874256.0 / 1129930,
 	}
 	for name, ratio := range want {
 		if got := rep.Speedups[name]; got < ratio*0.999 || got > ratio*1.001 {
@@ -72,12 +79,15 @@ func TestParseAndSpeedups(t *testing.T) {
 // The gate passes when every gated pair clears the threshold, even if
 // an ungated pair (PopCount, load-bound) is below it.
 func TestGateSelectsPairs(t *testing.T) {
-	_, stderr, code := runCanned(t, "-min-speedup", "3", "-gate", "AddFields,MulFields")
+	_, stderr, code := runCanned(t, "-min-speedup", "3", "-gate", "AddFields,MulFields,Schedule")
 	if code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
 	}
 	if !strings.Contains(stderr, "AddFields speedup") {
 		t.Fatalf("missing gate diagnostic:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "Schedule speedup") {
+		t.Fatalf("missing Ref-paired gate diagnostic:\n%s", stderr)
 	}
 }
 

@@ -239,8 +239,6 @@ func sameLine(a, b OpRef) bool {
 		(b.Class == OpLoad || b.Class == OpStore) && a.Line == b.Line
 }
 
-func isFence(c OpClass) bool { return c >= OpFenceFull }
-
 // MayReorder reports whether, under model m, two operations issued by the
 // same thread in program order (first, then second) are permitted to be
 // observed out of order by another agent. This is the machine-readable

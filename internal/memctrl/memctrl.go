@@ -6,9 +6,21 @@
 // earlier-arrived same-scope operation. This per-scope ordering is what
 // makes a PIM op "safe" once it reaches the controller, and it is where
 // the ACK of the atomic/store/scope models is generated (Fig. 6).
+//
+// Scheduling is index-driven: instead of re-scanning the pending queue for
+// conflicts on every pass (O(n²) in queue depth — the profile's top cost
+// after the PR 6 kernel work), every entry sits on an intrusive per-line
+// chain and per-scope chain in arrival order, so readiness is an O(1)
+// head check, and a seq-ordered ready heap is maintained incrementally on
+// Enqueue / unlink / pimCompleted. The retained reference scan
+// (earlierConflictRef, refsched.go) pins the semantics: the differential
+// property tests assert that the indexed scheduler issues exactly what
+// the linear scan would, over randomized request streams.
 package memctrl
 
 import (
+	"fmt"
+
 	"bulkpim/internal/mem"
 	"bulkpim/internal/pim"
 	"bulkpim/internal/sim"
@@ -42,8 +54,31 @@ type Controller struct {
 	// OnSpace callbacks fire when a queue slot frees (LLC egress retries).
 	OnSpace func()
 
-	seq     uint64
-	entries []*entry
+	seq uint64
+
+	// Queued (unfinished) entries as an intrusive doubly-linked list in
+	// arrival order. Issued DRAM accesses stay on the list until they
+	// finish (they still block younger same-line accesses); PIM ops
+	// leave when forwarded to their module.
+	qHead, qTail *entry
+	queueLen     int
+
+	// Dependency indexes: the youngest queued entry per line and per
+	// scope. Together with the per-entry linePrev/scopePrev links they
+	// answer "does an earlier conflicting entry exist" in O(1) — an
+	// entry is its line's (or scope's) oldest exactly when its prev
+	// pointer is nil.
+	lineTail  map[mem.LineAddr]*entry
+	scopeTail map[mem.ScopeID]*entry
+
+	// ready holds conflict-free waiting entries as a min-heap on seq, so
+	// a scheduling pass visits only issuable work, in arrival order.
+	// held is the pass-local overflow for entries that are conflict-free
+	// but resource-blocked (busy bank, full PIM buffer); it is reused
+	// across passes.
+	ready entryHeap
+	held  []*entry
+
 	// bankFree[i] is the time bank i next accepts an access.
 	bankFree []sim.Tick
 
@@ -52,9 +87,19 @@ type Controller struct {
 	scheduling bool
 	rerun      bool
 
-	// outstanding per-scope PIM ops: sequence numbers from acceptance
-	// until PIM-module completion.
-	pimBySeq map[mem.ScopeID][]uint64
+	// refSched switches the controller to the retained linear-scan
+	// reference scheduler (refsched.go); used by the differential tests
+	// and BenchmarkScheduleRef.
+	refSched bool
+
+	// onPass, when set (tests), runs at the top of every indexed
+	// scheduling pass — the point where the ready heap must agree with
+	// the reference conflict scan.
+	onPass func()
+
+	// outstanding per-scope PIM ops, in acceptance order, from
+	// acceptance until PIM-module completion.
+	pimBySeq map[mem.ScopeID][]pimRef
 
 	// Tracer, when enabled for CatMC, logs admissions and completions.
 	Tracer *trace.Tracer
@@ -68,10 +113,23 @@ type Controller struct {
 	PIMForwarded      stats.Counter
 }
 
+// pimRef identifies one outstanding PIM op: its acceptance sequence
+// number (what younger same-scope memops wait on) and the request itself
+// (what pimCompleted matches completions against).
+type pimRef struct {
+	seq uint64
+	req *mem.Request
+}
+
 type entryState uint8
 
 const (
+	// stWaiting: queued with an unresolved earlier conflict.
 	stWaiting entryState = iota
+	// stReady: conflict-free, on the ready heap (or held within a pass).
+	stReady
+	// stIssued: DRAM access in flight; still blocks younger same-line
+	// accesses until finishDRAM unlinks it.
 	stIssued
 )
 
@@ -79,6 +137,12 @@ type entry struct {
 	req   *mem.Request
 	seq   uint64
 	state entryState
+
+	// Intrusive chains, all in arrival (seq) order: the global queue,
+	// the same-line chain, and the same-scope chain.
+	qPrev, qNext         *entry
+	linePrev, lineNext   *entry
+	scopePrev, scopeNext *entry
 }
 
 // New builds a controller over the given PIM module and backing memory.
@@ -90,7 +154,9 @@ func New(k *sim.Kernel, module *pim.Module, backing *mem.Backing) *Controller {
 		Banks:       8,
 		BankBusy:    40,
 		Backing:     backing,
-		pimBySeq:    make(map[mem.ScopeID][]uint64),
+		lineTail:    make(map[mem.LineAddr]*entry),
+		scopeTail:   make(map[mem.ScopeID]*entry),
+		pimBySeq:    make(map[mem.ScopeID][]pimRef),
 	}
 	c.bankFree = make([]sim.Tick, c.Banks)
 	c.AddPIMModule(module)
@@ -111,64 +177,178 @@ func (c *Controller) moduleFor(s mem.ScopeID) *pim.Module {
 }
 
 // QueueLen returns the number of queued (unfinished) entries.
-func (c *Controller) QueueLen() int { return len(c.entries) }
+func (c *Controller) QueueLen() int { return c.queueLen }
 
 // Enqueue admits a request, or reports false when the queue is full. The
 // caller (LLC egress) must retry after OnSpace.
 func (c *Controller) Enqueue(req *mem.Request) bool {
-	if len(c.entries) >= c.QueueSize {
+	if c.queueLen >= c.QueueSize {
 		c.Rejected.Inc()
 		return false
 	}
-	c.QueueLenOnArrival.Observe(float64(len(c.entries)))
+	c.QueueLenOnArrival.Observe(float64(c.queueLen))
 	c.Accepted.Inc()
 	if c.Tracer.Enabled(trace.CatMC) {
-		c.Tracer.Emit(trace.CatMC, "mc", "accept %s qlen=%d", req, len(c.entries))
+		c.Tracer.Emit(trace.CatMC, "mc", "accept %s qlen=%d", req, c.queueLen)
 	}
 	c.seq++
 	e := &entry{req: req, seq: c.seq}
-	c.entries = append(c.entries, e)
+	c.link(e)
 	if req.Kind == mem.ReqPIMOp {
-		c.pimBySeq[req.Scope] = append(c.pimBySeq[req.Scope], e.seq)
-		if c.SendACK != nil {
-			c.SendACK(req)
-		}
+		c.pimBySeq[req.Scope] = append(c.pimBySeq[req.Scope], pimRef{seq: e.seq, req: req})
+	}
+	c.markReady(e)
+	if req.Kind == mem.ReqPIMOp && c.SendACK != nil {
+		c.SendACK(req)
 	}
 	c.schedule()
 	return true
 }
 
-// earlierConflict reports whether a queued, unfinished operation that e
-// must wait for exists.
-func (c *Controller) earlierConflict(e *entry) bool {
-	if e.req.Kind == mem.ReqPIMOp {
-		// A PIM op waits for every earlier same-scope operation, of any
-		// kind, still in the queue.
-		for _, o := range c.entries {
-			if o.seq < e.seq && o.req.Scope == e.req.Scope {
-				return true
-			}
-		}
-		return false
+// link appends e to the queue and to its line and scope chains. New
+// arrivals are always the youngest, so every insert is a tail append.
+func (c *Controller) link(e *entry) {
+	if c.qTail != nil {
+		c.qTail.qNext = e
+		e.qPrev = c.qTail
+	} else {
+		c.qHead = e
 	}
-	// Loads/stores/writebacks wait for (a) earlier same-scope PIM ops not
-	// yet completed by the PIM module, (b) earlier same-line accesses.
-	if e.req.Scope != mem.NoScope {
-		for _, s := range c.pimBySeq[e.req.Scope] {
-			if s < e.seq {
-				return true
-			}
-		}
+	c.qTail = e
+	c.queueLen++
+
+	if t := c.lineTail[e.req.Line]; t != nil {
+		t.lineNext = e
+		e.linePrev = t
 	}
-	for _, o := range c.entries {
-		if o.seq < e.seq && o.req.Line == e.req.Line {
-			return true
-		}
+	c.lineTail[e.req.Line] = e
+
+	if t := c.scopeTail[e.req.Scope]; t != nil {
+		t.scopeNext = e
+		e.scopePrev = t
 	}
-	return false
+	c.scopeTail[e.req.Scope] = e
 }
 
-// schedule issues every runnable entry.
+// unlink removes a finished entry (PIM op forwarded, DRAM access done)
+// from the queue and both dependency chains, promoting any chain
+// successor that the removal unblocks. O(1).
+func (c *Controller) unlink(e *entry) {
+	if e.qPrev != nil {
+		e.qPrev.qNext = e.qNext
+	} else {
+		c.qHead = e.qNext
+	}
+	if e.qNext != nil {
+		e.qNext.qPrev = e.qPrev
+	} else {
+		c.qTail = e.qPrev
+	}
+	c.queueLen--
+
+	lineSucc, wasLineHead := e.lineNext, e.linePrev == nil
+	if e.linePrev != nil {
+		e.linePrev.lineNext = e.lineNext
+	}
+	if e.lineNext != nil {
+		e.lineNext.linePrev = e.linePrev
+	} else if e.linePrev != nil {
+		c.lineTail[e.req.Line] = e.linePrev
+	} else {
+		delete(c.lineTail, e.req.Line)
+	}
+
+	scopeSucc, wasScopeHead := e.scopeNext, e.scopePrev == nil
+	if e.scopePrev != nil {
+		e.scopePrev.scopeNext = e.scopeNext
+	}
+	if e.scopeNext != nil {
+		e.scopeNext.scopePrev = e.scopePrev
+	} else if e.scopePrev != nil {
+		c.scopeTail[e.req.Scope] = e.scopePrev
+	} else {
+		delete(c.scopeTail, e.req.Scope)
+	}
+
+	e.qPrev, e.qNext = nil, nil
+	e.linePrev, e.lineNext = nil, nil
+	e.scopePrev, e.scopeNext = nil, nil
+
+	// A new line head may be a newly-unblocked memop; a new scope head
+	// may be a newly-unblocked PIM op. (Memops do not depend on the
+	// scope chain — their PIM dependence goes through pimBySeq — so a
+	// memop scope successor needs no promotion here.)
+	if wasLineHead && lineSucc != nil {
+		c.markReady(lineSucc)
+	}
+	if wasScopeHead && scopeSucc != nil && scopeSucc.req.Kind == mem.ReqPIMOp {
+		c.markReady(scopeSucc)
+	}
+}
+
+// conflictFree reports whether e has no earlier queued or outstanding
+// operation it must wait for — the O(1) indexed equivalent of
+// earlierConflictRef.
+func (c *Controller) conflictFree(e *entry) bool {
+	if e.req.Kind == mem.ReqPIMOp {
+		// A PIM op waits for every earlier same-scope operation, of any
+		// kind, still in the queue: it must be its scope chain's oldest.
+		return e.scopePrev == nil
+	}
+	// Loads/stores/writebacks wait for (a) earlier same-line accesses:
+	// the entry must be its line chain's oldest; (b) earlier same-scope
+	// PIM ops not yet completed by the PIM module: pimBySeq is in
+	// acceptance order, so the head check covers the whole list.
+	if e.linePrev != nil {
+		return false
+	}
+	if e.req.Scope != mem.NoScope {
+		if refs := c.pimBySeq[e.req.Scope]; len(refs) > 0 && refs[0].seq < e.seq {
+			return false
+		}
+	}
+	return true
+}
+
+// markReady promotes a waiting, conflict-free entry onto the ready heap.
+// Safe to call speculatively: it re-checks state and readiness.
+func (c *Controller) markReady(e *entry) {
+	if c.refSched || e.state != stWaiting || !c.conflictFree(e) {
+		return
+	}
+	e.state = stReady
+	c.ready.push(e)
+}
+
+// issue dispatches a conflict-free entry: PIM ops forward to their
+// module (and leave the queue), memory ops claim a bank and start their
+// DRAM access. Reports false when the entry stays queued on a busy
+// resource (full PIM buffer, busy bank).
+func (c *Controller) issue(e *entry, now sim.Tick) bool {
+	switch e.req.Kind {
+	case mem.ReqPIMOp:
+		// The owning module serializes per scope internally.
+		if !c.moduleFor(e.req.Scope).TryEnqueue(e.req) {
+			return false
+		}
+		c.PIMForwarded.Inc()
+		c.unlink(e)
+		return true
+	default:
+		bank := int(e.req.Line.Index()) % c.Banks
+		if c.bankFree[bank] > now {
+			return false // bank busy; retry when something completes
+		}
+		c.bankFree[bank] = now + c.BankBusy
+		e.state = stIssued
+		c.k.Schedule(c.DRAMLatency, func() { c.finishDRAM(e) })
+		// Re-arm the bank after its busy window.
+		c.k.Schedule(c.BankBusy, func() { c.schedule() })
+		return true
+	}
+}
+
+// schedule issues every runnable entry, in arrival order.
 func (c *Controller) schedule() {
 	if c.scheduling {
 		c.rerun = true
@@ -182,51 +362,35 @@ func (c *Controller) schedule() {
 			c.schedule()
 		}
 	}()
+	if c.refSched {
+		c.refSchedulePass()
+		return
+	}
+	if c.onPass != nil {
+		c.onPass()
+	}
 	now := c.k.Now()
 	freed := false
-	snapshot := make([]*entry, len(c.entries))
-	copy(snapshot, c.entries)
-	for _, e := range snapshot {
-		if e.state != stWaiting {
-			continue
-		}
-		if c.earlierConflict(e) {
-			continue
-		}
-		switch e.req.Kind {
-		case mem.ReqPIMOp:
-			// The owning module serializes per scope internally.
-			if c.moduleFor(e.req.Scope).TryEnqueue(e.req) {
-				c.PIMForwarded.Inc()
-				e.state = stIssued
-				c.remove(e)
+	held := c.held[:0]
+	// Drain the ready heap in seq order. Issuing an entry can unblock
+	// chain successors — always younger, so they surface later in this
+	// same pass, exactly where the reference scan would reach them.
+	for len(c.ready) > 0 {
+		e := c.ready.pop()
+		if c.issue(e, now) {
+			if e.req.Kind == mem.ReqPIMOp {
 				freed = true
 			}
-		default:
-			bank := int(e.req.Line.Index()) % c.Banks
-			start := now
-			if c.bankFree[bank] > start {
-				continue // bank busy; retry when something completes
-			}
-			c.bankFree[bank] = start + c.BankBusy
-			e.state = stIssued
-			ee := e
-			c.k.Schedule(c.DRAMLatency, func() { c.finishDRAM(ee) })
-			// Re-arm the bank after its busy window.
-			c.k.Schedule(c.BankBusy, func() { c.schedule() })
+		} else {
+			held = append(held, e) // conflict-free but resource-blocked
 		}
 	}
+	for _, e := range held {
+		c.ready.push(e)
+	}
+	c.held = held[:0]
 	if freed && c.OnSpace != nil {
 		c.OnSpace()
-	}
-}
-
-func (c *Controller) remove(e *entry) {
-	for i, o := range c.entries {
-		if o == e {
-			c.entries = append(c.entries[:i], c.entries[i+1:]...)
-			return
-		}
 	}
 }
 
@@ -253,7 +417,7 @@ func (c *Controller) finishDRAM(e *entry) {
 	default:
 		// Flushes and fences do not reach DRAM.
 	}
-	c.remove(e)
+	c.unlink(e)
 	done := req.Done
 	if done != nil {
 		done()
@@ -265,17 +429,101 @@ func (c *Controller) finishDRAM(e *entry) {
 }
 
 // pimCompleted clears the per-scope dependence when the PIM module finishes
-// executing an op.
+// executing an op. The completion must name an outstanding op of its
+// scope: a completion the controller never forwarded is a protocol
+// violation and panics. Modules serialize per scope, so completions
+// normally arrive in acceptance order; an out-of-order completion (e.g.
+// from a foreign module implementation) clears exactly the op that
+// finished, leaving younger memops gated on the ops still outstanding.
 func (c *Controller) pimCompleted(req *mem.Request) {
-	seqs := c.pimBySeq[req.Scope]
-	if len(seqs) > 0 {
-		c.pimBySeq[req.Scope] = seqs[1:]
-		if len(c.pimBySeq[req.Scope]) == 0 {
-			delete(c.pimBySeq, req.Scope)
+	refs := c.pimBySeq[req.Scope]
+	idx := -1
+	for i, r := range refs {
+		if r.req == req {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("memctrl: PIM completion for unknown request %v (scope %d has %d outstanding)",
+			req, req.Scope, len(refs)))
+	}
+	headCleared := idx == 0
+	refs = append(refs[:idx], refs[idx+1:]...)
+	if len(refs) == 0 {
+		delete(c.pimBySeq, req.Scope)
+	} else {
+		c.pimBySeq[req.Scope] = refs
+	}
+	if headCleared && !c.refSched {
+		// The oldest outstanding PIM seq moved up: memops accepted
+		// before the new head are no longer PIM-gated. They live on the
+		// scope chain in seq order, so walk it up to the new head.
+		var stop uint64
+		if len(refs) > 0 {
+			stop = refs[0].seq
+		}
+		for en := c.scopeHead(req.Scope); en != nil && (stop == 0 || en.seq < stop); en = en.scopeNext {
+			c.markReady(en)
 		}
 	}
 	if req.Done != nil {
 		req.Done()
 	}
 	c.schedule()
+}
+
+// scopeHead returns the oldest queued entry of a scope, or nil.
+func (c *Controller) scopeHead(s mem.ScopeID) *entry {
+	t := c.scopeTail[s]
+	if t == nil {
+		return nil
+	}
+	for t.scopePrev != nil {
+		t = t.scopePrev
+	}
+	return t
+}
+
+// entryHeap is a binary min-heap of entries keyed by seq (arrival
+// order). Sequence numbers are unique, so the pop order is total.
+type entryHeap []*entry
+
+func (h *entryHeap) push(e *entry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].seq <= s[i].seq {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *entryHeap) pop() *entry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = nil
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s) && s[l].seq < s[m].seq {
+			m = l
+		}
+		if r < len(s) && s[r].seq < s[m].seq {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }

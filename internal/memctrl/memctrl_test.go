@@ -42,11 +42,6 @@ func TestLoadReadsBacking(t *testing.T) {
 	if doneAt != c.DRAMLatency {
 		t.Fatalf("load done at %d, want %d", doneAt, c.DRAMLatency)
 	}
-	if got := mem.Addr(0); got != 0 { // silence unused
-		_ = got
-	}
-	var buf [8]byte
-	copy(buf[:], req.Data[:8])
 	if req.Data == nil || b.ReadWord(64) != 1234 {
 		t.Fatal("load data missing")
 	}
@@ -261,6 +256,62 @@ func TestBackpressurePropagates(t *testing.T) {
 	if m.OpsExecuted.Value() != 6 {
 		t.Fatalf("executed %d, want 6", m.OpsExecuted.Value())
 	}
+}
+
+// An out-of-order module completion (possible only with a foreign module
+// implementation — the bundled module serializes per scope) must clear
+// exactly the op that finished: younger memops stay gated on the older
+// op still outstanding, instead of being released by a blind head pop.
+func TestPimCompletedOutOfOrder(t *testing.T) {
+	k, _, m, c := setup()
+	var completed []*mem.Request
+	m.OnComplete = func(r *mem.Request) { completed = append(completed, r) } // intercept
+	a, b := pimop(2), pimop(2)
+	c.Enqueue(a)
+	c.Enqueue(b)
+	ld := load(mem.LineAddr(mem.DefaultPIMBase), 2)
+	loadDone := false
+	ld.Done = func() { loadDone = true }
+	c.Enqueue(ld)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 2 || completed[0] != a || completed[1] != b {
+		t.Fatalf("module completed %d ops, want [a b]", len(completed))
+	}
+	if loadDone {
+		t.Fatal("load completed while both PIM ops are uncleared")
+	}
+	// Complete b first — out of arrival order.
+	c.pimCompleted(b)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if loadDone {
+		t.Fatal("load must stay gated on the older outstanding PIM op")
+	}
+	c.pimCompleted(a)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !loadDone {
+		t.Fatal("load never completed after both PIM ops cleared")
+	}
+}
+
+// A completion for a request the controller never forwarded is a
+// protocol violation and must not silently pop someone else's
+// dependence.
+func TestPimCompletedUnknownPanics(t *testing.T) {
+	_, _, m, c := setup()
+	m.OnComplete = func(r *mem.Request) {} // intercept
+	c.Enqueue(pimop(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pimCompleted for an unknown request must panic")
+		}
+	}()
+	c.pimCompleted(pimop(2)) // same scope, but never enqueued
 }
 
 // No deadlock with the smallest possible buffers.
