@@ -29,18 +29,26 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed `go test -bench` result line.
+// Benchmark is one parsed `go test -bench` result line. AllocsPerOp and
+// BytesPerOp are first-class (from -benchmem's allocs/op and B/op columns)
+// so allocation gates don't dig through Metrics.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the JSON document benchjson emits.
+// Report is the JSON document benchjson emits. AllocRatios maps each
+// benchmark with a FooUnpooled counterpart to allocs/op(Foo) /
+// allocs/op(FooUnpooled) — 0.5 means pooling removed half the
+// allocations.
 type Report struct {
-	Benchmarks []Benchmark        `json:"benchmarks"`
-	Speedups   map[string]float64 `json:"speedups,omitempty"`
+	Benchmarks  []Benchmark        `json:"benchmarks"`
+	Speedups    map[string]float64 `json:"speedups,omitempty"`
+	AllocRatios map[string]float64 `json:"alloc_ratios,omitempty"`
 }
 
 func main() {
@@ -52,6 +60,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	minSpeedup := fs.Float64("min-speedup", 0, "fail (exit 1) when a gated Foo/FooBitSerial pair is below this ratio (0 = report only)")
 	gate := fs.String("gate", "", "comma-separated benchmark names the -min-speedup gate applies to (default: every pair)")
+	maxAllocRatio := fs.Float64("max-alloc-ratio", 0, "fail (exit 1) when a gated Foo/FooUnpooled allocs/op ratio exceeds this (0 = report only); 0.5 requires pooling to remove half the allocations")
+	allocGate := fs.String("alloc-gate", "", "comma-separated benchmark names the -max-alloc-ratio gate applies to (default: every Unpooled pair)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
 		return 2
 	}
-	report := Report{Benchmarks: benches, Speedups: speedups(benches)}
+	report := Report{Benchmarks: benches, Speedups: speedups(benches), AllocRatios: allocRatios(benches)}
 
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -74,24 +84,38 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *minSpeedup <= 0 {
-		return 0
-	}
-	gated := gatedNames(*gate, report.Speedups)
 	fail := false
-	for _, name := range gated {
-		ratio, ok := report.Speedups[name]
-		if !ok {
-			fmt.Fprintf(stderr, "benchjson: gated pair for %s (no %s{%s} baseline) not found in input\n",
-				name, name, strings.Join(baselineSuffixes, ","))
-			fail = true
-			continue
+	if *minSpeedup > 0 {
+		for _, name := range gatedNames(*gate, report.Speedups) {
+			ratio, ok := report.Speedups[name]
+			if !ok {
+				fmt.Fprintf(stderr, "benchjson: gated pair for %s (no %s{%s} baseline) not found in input\n",
+					name, name, strings.Join(baselineSuffixes, ","))
+				fail = true
+				continue
+			}
+			if ratio < *minSpeedup {
+				fmt.Fprintf(stderr, "benchjson: %s speedup %.2fx below the %.2fx gate\n", name, ratio, *minSpeedup)
+				fail = true
+			} else {
+				fmt.Fprintf(stderr, "benchjson: %s speedup %.2fx (gate %.2fx)\n", name, ratio, *minSpeedup)
+			}
 		}
-		if ratio < *minSpeedup {
-			fmt.Fprintf(stderr, "benchjson: %s speedup %.2fx below the %.2fx gate\n", name, ratio, *minSpeedup)
-			fail = true
-		} else {
-			fmt.Fprintf(stderr, "benchjson: %s speedup %.2fx (gate %.2fx)\n", name, ratio, *minSpeedup)
+	}
+	if *maxAllocRatio > 0 {
+		for _, name := range gatedNames(*allocGate, report.AllocRatios) {
+			ratio, ok := report.AllocRatios[name]
+			if !ok {
+				fmt.Fprintf(stderr, "benchjson: alloc-gated pair for %s (no %sUnpooled baseline with allocs/op) not found in input\n", name, name)
+				fail = true
+				continue
+			}
+			if ratio > *maxAllocRatio {
+				fmt.Fprintf(stderr, "benchjson: %s allocs/op ratio %.3f above the %.3f gate\n", name, ratio, *maxAllocRatio)
+				fail = true
+			} else {
+				fmt.Fprintf(stderr, "benchjson: %s allocs/op ratio %.3f (gate %.3f)\n", name, ratio, *maxAllocRatio)
+			}
 		}
 	}
 	if fail {
@@ -121,8 +145,15 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 			if err != nil {
 				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
 			}
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				b.NsPerOp = v
+				continue
+			case "allocs/op":
+				b.AllocsPerOp = v
+				continue
+			case "B/op":
+				b.BytesPerOp = v
 				continue
 			}
 			if b.Metrics == nil {
@@ -147,8 +178,9 @@ func benchName(s string) string {
 
 // baselineSuffixes mark baseline benchmarks: FooBitSerial is Foo's
 // bit-serial arith reference, FooRef its reference-scheduler (linear
-// conflict scan) counterpart.
-var baselineSuffixes = []string{"BitSerial", "Ref"}
+// conflict scan) counterpart, FooUnpooled its pool-disabled allocation
+// baseline.
+var baselineSuffixes = []string{"BitSerial", "Ref", "Unpooled"}
 
 // speedups pairs every Foo with its baseline-suffixed counterpart from
 // the same run.
@@ -169,6 +201,30 @@ func speedups(benches []Benchmark) map[string]float64 {
 			}
 			out[fast.Name] = base.NsPerOp / fast.NsPerOp
 		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// allocRatios pairs every Foo with its FooUnpooled baseline by allocs/op.
+// A pair with a zero-allocation baseline is skipped (nothing to remove).
+func allocRatios(benches []Benchmark) map[string]float64 {
+	byName := map[string]Benchmark{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	out := map[string]float64{}
+	for name, base := range byName {
+		if !strings.HasSuffix(name, "Unpooled") || base.AllocsPerOp <= 0 {
+			continue
+		}
+		fast, ok := byName[strings.TrimSuffix(name, "Unpooled")]
+		if !ok {
+			continue
+		}
+		out[fast.Name] = fast.AllocsPerOp / base.AllocsPerOp
 	}
 	if len(out) == 0 {
 		return nil

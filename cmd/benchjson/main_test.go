@@ -28,6 +28,11 @@ BenchmarkSchedule            	    1036	   1129930 ns/op	   1359378 reqs/sec
 BenchmarkScheduleRef         	      56	  21874256 ns/op	     70220 reqs/sec
 PASS
 ok  	bulkpim/internal/memctrl	2.681s
+pkg: bulkpim/internal/system
+BenchmarkTransactionPath         	   30000	      1018 ns/op	       1 B/op	       2 allocs/op
+BenchmarkTransactionPathUnpooled 	   30000	      1569 ns/op	     635 B/op	       8 allocs/op
+PASS
+ok  	bulkpim/internal/system	0.082s
 `
 
 func runCanned(t *testing.T, args ...string) (Report, string, int) {
@@ -48,8 +53,8 @@ func TestParseAndSpeedups(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d", code)
 	}
-	if len(rep.Benchmarks) != 9 {
-		t.Fatalf("parsed %d benchmarks, want 9", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 11 {
+		t.Fatalf("parsed %d benchmarks, want 11", len(rep.Benchmarks))
 	}
 	if rep.Benchmarks[0].Name != "Kernel" {
 		t.Fatalf("GOMAXPROCS suffix not stripped: %q", rep.Benchmarks[0].Name)
@@ -105,6 +110,58 @@ func TestGateFailsBelowThreshold(t *testing.T) {
 // benchmark must not silently disable its gate.
 func TestGateMissingPairFails(t *testing.T) {
 	_, stderr, code := runCanned(t, "-min-speedup", "3", "-gate", "AddFieldz")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "not found") {
+		t.Fatalf("stderr:\n%s", stderr)
+	}
+}
+
+// -benchmem columns land in first-class fields, the Unpooled pair gets an
+// allocs/op ratio, and its ns/op speedup is reported alongside.
+func TestAllocColumnsAndRatios(t *testing.T) {
+	rep, _, code := runCanned(t)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var tx Benchmark
+	for _, b := range rep.Benchmarks {
+		if b.Name == "TransactionPath" {
+			tx = b
+		}
+	}
+	if tx.AllocsPerOp != 2 || tx.BytesPerOp != 1 {
+		t.Fatalf("TransactionPath allocs/op=%v B/op=%v, want 2/1", tx.AllocsPerOp, tx.BytesPerOp)
+	}
+	if got := rep.AllocRatios["TransactionPath"]; got != 2.0/8 {
+		t.Fatalf("alloc ratio = %v, want 0.25", got)
+	}
+	if got := rep.Speedups["TransactionPath"]; got < 1.5 || got > 1.6 {
+		t.Fatalf("Unpooled pair speedup = %v, want ~1.54", got)
+	}
+}
+
+func TestAllocGatePassesAndFails(t *testing.T) {
+	_, stderr, code := runCanned(t, "-max-alloc-ratio", "0.5", "-alloc-gate", "TransactionPath")
+	if code != 0 {
+		t.Fatalf("exit code %d (ratio 0.25 <= 0.5), stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "TransactionPath allocs/op ratio") {
+		t.Fatalf("missing alloc gate diagnostic:\n%s", stderr)
+	}
+	_, stderr, code = runCanned(t, "-max-alloc-ratio", "0.1")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (ratio 0.25 > 0.1)", code)
+	}
+	if !strings.Contains(stderr, "above") {
+		t.Fatalf("stderr:\n%s", stderr)
+	}
+}
+
+// An alloc-gated name with no Unpooled pair fails hard, like -gate.
+func TestAllocGateMissingPairFails(t *testing.T) {
+	_, stderr, code := runCanned(t, "-max-alloc-ratio", "0.5", "-alloc-gate", "Schedule")
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -121,4 +122,44 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return first
 	}, nil
+}
+
+// gcStats is the allocation/GC summary -gcstats dumps (the
+// BENCH_gcstats.json artifact): the runtime.MemStats counters that show
+// what the pooled request path keeps off the garbage collector.
+type gcStats struct {
+	Build         string  `json:"build"`
+	TotalAllocB   uint64  `json:"total_alloc_bytes"`
+	Mallocs       uint64  `json:"mallocs"`
+	Frees         uint64  `json:"frees"`
+	HeapAllocB    uint64  `json:"heap_alloc_bytes"`
+	HeapObjects   uint64  `json:"heap_objects"`
+	SysB          uint64  `json:"sys_bytes"`
+	NumGC         uint32  `json:"num_gc"`
+	PauseTotalNs  uint64  `json:"pause_total_ns"`
+	GCCPUFraction float64 `json:"gc_cpu_fraction"`
+}
+
+// writeGCStats snapshots runtime.MemStats into path as JSON. Called at
+// run end, so the counters cover the whole run.
+func writeGCStats(path string) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := gcStats{
+		Build:         buildLine(),
+		TotalAllocB:   ms.TotalAlloc,
+		Mallocs:       ms.Mallocs,
+		Frees:         ms.Frees,
+		HeapAllocB:    ms.HeapAlloc,
+		HeapObjects:   ms.HeapObjects,
+		SysB:          ms.Sys,
+		NumGC:         ms.NumGC,
+		PauseTotalNs:  ms.PauseTotalNs,
+		GCCPUFraction: ms.GCCPUFraction,
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

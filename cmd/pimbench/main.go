@@ -138,6 +138,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	shardFlag := fs.String("shard", "", "execute only shard i/n of the planned jobs (stable hash of the job key) into the cache; no reports are built")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (pprof) of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (pprof) at run end to this file")
+	gcstats := fs.String("gcstats", "", "write an allocation/GC summary (runtime.MemStats JSON) at run end to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -235,6 +236,12 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir, *exp, opts, stderr); err != nil {
 			fmt.Fprintf(stderr, "pimbench: csv: %v\n", err)
+			return 1
+		}
+	}
+	if *gcstats != "" {
+		if err := writeGCStats(*gcstats); err != nil {
+			fmt.Fprintf(stderr, "pimbench: gcstats: %v\n", err)
 			return 1
 		}
 	}

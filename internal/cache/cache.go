@@ -178,7 +178,8 @@ func (c *setAssoc) Sets() int { return c.sets }
 // Ways returns the way count.
 func (c *setAssoc) Ways() int { return c.ways }
 
-// cloneData copies line payloads defensively.
+// cloneData copies line payloads defensively (tests; the hot paths use
+// pooled buffers via setLineData / RequestPool.CloneLine instead).
 func cloneData(d []byte) []byte {
 	if d == nil {
 		return nil
@@ -187,3 +188,42 @@ func cloneData(d []byte) []byte {
 	copy(out, d)
 	return out
 }
+
+// setLineData copies src into ln's payload, reusing the line's pooled
+// buffer in place (allocating one from the pool only on first use). A nil
+// src releases the buffer. Every Line.Data in the hierarchy is pool-owned;
+// the component invalidating a slot returns its buffer.
+func setLineData(p *mem.RequestPool, ln *Line, src []byte) {
+	if src == nil {
+		if ln.Data != nil {
+			p.PutLine(ln.Data)
+			ln.Data = nil
+		}
+		return
+	}
+	if ln.Data == nil {
+		ln.Data = p.GetLine()
+	}
+	copy(ln.Data[:mem.LineSize], src)
+}
+
+// FillWaiter is a closure-free L1 fill continuation: Fn(Ctx, line, data,
+// writer) runs when the miss's data arrives. Issuers pass a package-level
+// function plus their own state as Ctx, so joining a miss allocates
+// nothing.
+type FillWaiter struct {
+	Fn  func(ctx any, line mem.LineAddr, data []byte, writer uint64)
+	Ctx any
+}
+
+// ExclWaiter is the closure-free continuation for store misses: Fn(Ctx)
+// runs once the line is installed writable.
+type ExclWaiter struct {
+	Fn  func(ctx any)
+	Ctx any
+}
+
+// completeReq adapts Request.Complete to the (fn, ctx) link-delivery shape:
+// the LLC replies to flushes and fences by sending the request itself back
+// over the core's response link.
+func completeReq(x any) { x.(*mem.Request).Complete() }

@@ -61,10 +61,10 @@ func (r *rig) loadVia(t *testing.T, i int, line mem.LineAddr) []byte {
 	}
 	var got []byte
 	req := &mem.Request{Kind: mem.ReqLoad, Line: line, Scope: r.scopes.ScopeOf(line.Addr()), Core: i}
-	r.l1s[i].RequestLine(req, func(data []byte, writer uint64) {
+	r.l1s[i].RequestLine(req, FillWaiter{Fn: func(_ any, _ mem.LineAddr, data []byte, _ uint64) {
 		got = make([]byte, mem.LineSize)
 		copy(got, data)
-	}, nil)
+	}}, ExclWaiter{})
 	if _, err := r.k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -82,12 +82,12 @@ func (r *rig) storeVia(t *testing.T, i int, line mem.LineAddr, off int, val byte
 	}
 	done := false
 	req := &mem.Request{Kind: mem.ReqLoad, Line: line, Scope: r.scopes.ScopeOf(line.Addr()), Core: i, Excl: true}
-	r.l1s[i].RequestLine(req, nil, func() {
+	r.l1s[i].RequestLine(req, FillWaiter{}, ExclWaiter{Fn: func(any) {
 		if !r.l1s[i].TryStore(line, off, []byte{val}, writer) {
 			t.Error("store failed after exclusive fill")
 		}
 		done = true
-	})
+	}})
 	if _, err := r.k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestSWFlushLineFlush(t *testing.T) {
 	line := mem.LineAddr(0)
 	r.storeVia(t, 0, line, 0, 0x99, 4)
 	done := false
-	req := &mem.Request{Kind: mem.ReqFlush, Line: line, Core: 0, Done: func() { done = true }}
+	req := &mem.Request{Kind: mem.ReqFlush, Line: line, Core: 0, OnDone: func(*mem.Request, any) { done = true }}
 	r.llc.Receive(req)
 	if _, err := r.k.Run(); err != nil {
 		t.Fatal(err)
@@ -322,9 +322,9 @@ func TestStaleMissBypassesCache(t *testing.T) {
 
 	var got []byte
 	req := &mem.Request{Kind: mem.ReqLoad, Line: line, Scope: scope, Core: 0}
-	r.l1s[0].RequestLine(req, func(data []byte, writer uint64) {
+	r.l1s[0].RequestLine(req, FillWaiter{Fn: func(_ any, _ mem.LineAddr, data []byte, _ uint64) {
 		got = cloneData(data)
-	}, nil)
+	}}, ExclWaiter{})
 	// PIM op that rewrites the byte, racing with the outstanding miss:
 	// delivered after the GetS registers at the LLC but before the DRAM
 	// fill returns.
@@ -358,12 +358,12 @@ func TestStaleExclusiveMissReplays(t *testing.T) {
 
 	stored := false
 	req := &mem.Request{Kind: mem.ReqLoad, Line: line, Scope: scope, Core: 0, Excl: true}
-	r.l1s[0].RequestLine(req, nil, func() {
+	r.l1s[0].RequestLine(req, FillWaiter{}, ExclWaiter{Fn: func(any) {
 		if !r.l1s[0].TryStore(line, 0, []byte{0xEE}, 8) {
 			t.Error("store failed after replayed exclusive fill")
 		}
 		stored = true
-	})
+	}})
 	p := pimReq(scope)
 	p.PIM.Program.Apply = func(b *mem.Backing, w uint64) { b.SetByte(base+1, 0x0B) }
 	r.k.Schedule(40, func() { r.llc.Receive(p) })
@@ -397,7 +397,7 @@ func TestScopeFenceFlushesAllLevels(t *testing.T) {
 		t.Fatalf("L1 scan: sets=%d flushed=%d, want 1 flushed", sets, flushed)
 	}
 	done := false
-	fence := &mem.Request{Kind: mem.ReqScopeFence, Scope: scope, Core: 0, Done: func() { done = true }}
+	fence := &mem.Request{Kind: mem.ReqScopeFence, Scope: scope, Core: 0, OnDone: func(*mem.Request, any) { done = true }}
 	r.llc.Receive(fence)
 	if _, err := r.k.Run(); err != nil {
 		t.Fatal(err)
@@ -419,7 +419,7 @@ func TestUncacheablePassThrough(t *testing.T) {
 	line := mem.LineOf(200)
 	var got []byte
 	req := &mem.Request{Kind: mem.ReqLoad, Line: line, Core: 0, Uncacheable: true}
-	req.Done = func() { got = cloneData(req.Data) }
+	req.OnDone = func(r *mem.Request, _ any) { got = cloneData(r.Data) }
 	r.llc.Receive(req)
 	if _, err := r.k.Run(); err != nil {
 		t.Fatal(err)

@@ -21,36 +21,58 @@ type L1 struct {
 	llc *LLC
 	up  *noc.Link // requests toward the LLC
 
+	// Pool supplies requests and line buffers. NewL1 creates a private
+	// pool; the system builder overrides it so the whole machine shares
+	// one.
+	Pool *mem.RequestPool
+
 	// SB/SBV are non-nil only for the scope-relaxed model.
 	SB  *core.ScopeBuffer
 	SBV *core.SBV
 
-	mshr map[mem.LineAddr]*l1Miss
+	mshr     map[mem.LineAddr]*l1Miss
+	missFree []*l1Miss
+
+	// deliverW/deliverX are reusable snapshots for waiter delivery:
+	// waiters detach from the MSHR entry before running so a re-entrant
+	// join lands on fresh state, without allocating per fill.
+	deliverW []FillWaiter
+	deliverX []ExclWaiter
+
+	// victims is ScanFlushScope's reusable per-set eviction list.
+	victims []*Line
+
+	// Hoisted event/link callbacks (built once in NewL1) so the miss and
+	// PIM-forward paths schedule without allocating closures.
+	recvFn func(any)
+	fwdFn  func(any)
 
 	Hits, Misses stats.Counter
 	Writebacks   stats.Counter
 }
 
-type l1Waiter func(data []byte, writer uint64)
-
 type l1Miss struct {
 	excl    bool
 	stale   bool // scope flushed while miss outstanding: do not install
-	waiters []l1Waiter
+	waiters []FillWaiter
 	// exclWaiters are store completions that need a writable fill.
-	exclWaiters []func()
+	exclWaiters []ExclWaiter
 }
 
 // NewL1 builds a private cache of sets x ways bound to kernel k. The
 // upstream link and LLC are wired by the system builder via Connect.
 func NewL1(k *sim.Kernel, coreID, sets, ways int, hitLatency sim.Tick) *L1 {
-	return &L1{
+	c := &L1{
 		k:          k,
 		CoreID:     coreID,
 		arr:        newSetAssoc(sets, ways),
 		HitLatency: hitLatency,
+		Pool:       mem.NewRequestPool(),
 		mshr:       make(map[mem.LineAddr]*l1Miss),
 	}
+	c.recvFn = func(x any) { c.llc.Receive(x.(*mem.Request)) }
+	c.fwdFn = func(x any) { c.up.SendOrderedCtx(c.recvFn, x) }
+	return c
 }
 
 // Connect wires the L1 to its LLC and upstream link.
@@ -65,7 +87,31 @@ func (c *L1) EnableScopeStructures(sbSets, sbWays int) {
 	c.SBV = core.NewSBV(c.arr.sets)
 }
 
-// TryLoad returns the line's data and writer on a hit.
+func (c *L1) getMiss(excl bool) *l1Miss {
+	if n := len(c.missFree); n > 0 {
+		e := c.missFree[n-1]
+		c.missFree = c.missFree[:n-1]
+		e.excl = excl
+		return e
+	}
+	return &l1Miss{excl: excl}
+}
+
+func (c *L1) putMiss(e *l1Miss) {
+	for i := range e.waiters {
+		e.waiters[i] = FillWaiter{}
+	}
+	for i := range e.exclWaiters {
+		e.exclWaiters[i] = ExclWaiter{}
+	}
+	e.waiters = e.waiters[:0]
+	e.exclWaiters = e.exclWaiters[:0]
+	e.excl, e.stale = false, false
+	c.missFree = append(c.missFree, e)
+}
+
+// TryLoad returns the line's data and writer on a hit. The returned slice
+// is the cache's own pooled buffer: callers consume it synchronously.
 func (c *L1) TryLoad(l mem.LineAddr) (data []byte, writer uint64, ok bool) {
 	if ln := c.arr.Lookup(l); ln.Valid() {
 		c.Hits.Inc()
@@ -83,7 +129,7 @@ func (c *L1) TryStore(l mem.LineAddr, off int, data []byte, writer uint64) bool 
 	}
 	c.Hits.Inc()
 	if ln.Data == nil {
-		ln.Data = make([]byte, mem.LineSize)
+		ln.Data = c.Pool.GetLine()
 	}
 	copy(ln.Data[off:off+len(data)], data)
 	ln.State = Modified
@@ -96,27 +142,27 @@ func (c *L1) HasLine(l mem.LineAddr) bool { return c.arr.Peek(l).Valid() }
 
 // RequestLine issues (or joins) a miss. done receives the line data when
 // the fill arrives; for exclusive requests the line is installed writable
-// before done runs.
-func (c *L1) RequestLine(req *mem.Request, done l1Waiter, exclDone func()) {
+// before exclDone runs. Joining an outstanding miss consumes (releases)
+// req — it never leaves the core tile.
+func (c *L1) RequestLine(req *mem.Request, done FillWaiter, exclDone ExclWaiter) {
 	c.Misses.Inc()
 	l := req.Line
 	if e, ok := c.mshr[l]; ok {
-		if done != nil {
+		if done.Fn != nil {
 			e.waiters = append(e.waiters, done)
 		}
-		if exclDone != nil {
+		if exclDone.Fn != nil {
 			e.exclWaiters = append(e.exclWaiters, exclDone)
-			if !e.excl {
-				// Upgrade needed; the fill logic reissues as exclusive.
-			}
+			// Upgrade needed; the fill logic reissues as exclusive.
 		}
+		c.Pool.Put(req)
 		return
 	}
-	e := &l1Miss{excl: req.Excl}
-	if done != nil {
+	e := c.getMiss(req.Excl)
+	if done.Fn != nil {
 		e.waiters = append(e.waiters, done)
 	}
-	if exclDone != nil {
+	if exclDone.Fn != nil {
 		e.exclWaiters = append(e.exclWaiters, exclDone)
 	}
 	c.mshr[l] = e
@@ -124,7 +170,7 @@ func (c *L1) RequestLine(req *mem.Request, done l1Waiter, exclDone func()) {
 }
 
 func (c *L1) sendMiss(req *mem.Request) {
-	c.up.Send(func() { c.llc.Receive(req) })
+	c.up.SendCtx(c.recvFn, req)
 }
 
 // ForwardPIM routes a PIM op (or scope-fence) through this cache level
@@ -133,14 +179,13 @@ func (c *L1) sendMiss(req *mem.Request) {
 // op overtake a fence it follows (§V-E's "not allowed to reorder around
 // the scope-fence in any path").
 func (c *L1) ForwardPIM(req *mem.Request) {
-	c.k.Schedule(c.HitLatency, func() {
-		c.up.SendOrdered(func() { c.llc.Receive(req) })
-	})
+	c.k.ScheduleCtx(c.HitLatency, c.fwdFn, req)
 }
 
 // Fill delivers a line from the LLC. state is Shared or Exclusive;
 // noCache fills (scope flushed while the miss was outstanding) are handed
-// to waiters without installing.
+// to waiters without installing. data is the sender's buffer and is only
+// read during the call.
 func (c *L1) Fill(l mem.LineAddr, state MESI, data []byte, writer uint64, pimEnabled bool, scope mem.ScopeID, noCache bool) {
 	e := c.mshr[l]
 	if e == nil {
@@ -154,38 +199,43 @@ func (c *L1) Fill(l mem.LineAddr, state MESI, data []byte, writer uint64, pimEna
 	if !noCache {
 		c.install(l, state, data, writer, pimEnabled, scope)
 	}
-	waiters := e.waiters
-	e.waiters = nil
-	for _, w := range waiters {
-		w(data, writer)
+	c.deliverW = append(c.deliverW[:0], e.waiters...)
+	for i := range e.waiters {
+		e.waiters[i] = FillWaiter{}
+	}
+	e.waiters = e.waiters[:0]
+	for _, w := range c.deliverW {
+		w.Fn(w.Ctx, l, data, writer)
 	}
 	// Exclusive waiters need a writable installed line.
 	if len(e.exclWaiters) > 0 {
 		ln := c.arr.Peek(l)
 		if ln.Valid() && (ln.State == Exclusive || ln.State == Modified) {
-			exclWaiters := e.exclWaiters
+			c.deliverX = append(c.deliverX[:0], e.exclWaiters...)
 			delete(c.mshr, l)
-			for _, w := range exclWaiters {
-				w()
+			c.putMiss(e)
+			for _, w := range c.deliverX {
+				w.Fn(w.Ctx)
 			}
 			return
 		}
 		// Fill was shared or bypassed: reissue exclusively.
 		e.excl = true
-		c.sendMiss(&mem.Request{
-			Kind: mem.ReqLoad, Line: l, Scope: scope, Core: c.CoreID,
-			Excl: true, PIMEnabled: pimEnabled,
-		})
+		r := c.Pool.Get()
+		r.Kind, r.Line, r.Scope, r.Core = mem.ReqLoad, l, scope, c.CoreID
+		r.Excl, r.PIMEnabled = true, pimEnabled
+		c.sendMiss(r)
 		return
 	}
 	delete(c.mshr, l)
+	c.putMiss(e)
 }
 
 func (c *L1) install(l mem.LineAddr, state MESI, data []byte, writer uint64, pimEnabled bool, scope mem.ScopeID) {
 	if ln := c.arr.Peek(l); ln.Valid() {
 		// Upgrade in place (e.g. S -> E on a GetM fill).
 		ln.State = state
-		ln.Data = cloneData(data)
+		setLineData(c.Pool, ln, data)
 		ln.Writer = writer
 		return
 	}
@@ -194,7 +244,7 @@ func (c *L1) install(l mem.LineAddr, state MESI, data []byte, writer uint64, pim
 		c.evict(v)
 	}
 	c.arr.Install(v, l, state)
-	v.Data = cloneData(data)
+	setLineData(c.Pool, v, data)
 	v.Writer = writer
 	v.PIMEnabled = pimEnabled
 	v.Scope = scope
@@ -216,27 +266,41 @@ func (c *L1) evict(v *Line) {
 	if v.PIMEnabled && c.SBV != nil {
 		c.SBV.OnEvict(c.arr.SetOf(v.Addr))
 	}
+	c.dropLine(v)
+}
+
+// dropLine invalidates a slot, returning its payload buffer to the pool.
+func (c *L1) dropLine(v *Line) {
+	if v.Data != nil {
+		c.Pool.PutLine(v.Data)
+		v.Data = nil
+	}
 	c.arr.Invalidate(v)
 }
 
-// RecallLine is the LLC-initiated downgrade/invalidate. It returns the
-// line's data when the copy was dirty. Invalidation updates the SBV.
-func (c *L1) RecallLine(l mem.LineAddr, invalidate bool) (data []byte, writer uint64, dirty bool, present bool) {
+// RecallLine is the LLC-initiated downgrade/invalidate. When it reports
+// dirty, the line's payload has been copied into dst (len >= LineSize) —
+// the caller owns dst, so no buffer changes hands. Invalidation updates
+// the SBV.
+func (c *L1) RecallLine(l mem.LineAddr, invalidate bool, dst []byte) (writer uint64, dirty, present bool) {
 	ln := c.arr.Peek(l)
 	if !ln.Valid() {
-		return nil, 0, false, false
+		return 0, false, false
 	}
-	dirty = ln.State == Modified
-	data, writer = ln.Data, ln.Writer
+	dirty = ln.State == Modified && ln.Data != nil
+	writer = ln.Writer
+	if dirty {
+		copy(dst[:mem.LineSize], ln.Data)
+	}
 	if invalidate {
 		if ln.PIMEnabled && c.SBV != nil {
 			c.SBV.OnEvict(c.arr.SetOf(l))
 		}
-		c.arr.Invalidate(ln)
+		c.dropLine(ln)
 	} else if ln.State == Modified || ln.State == Exclusive {
 		ln.State = Shared
 	}
-	return data, writer, dirty, true
+	return writer, dirty, true
 }
 
 // ScanFlushScope scans this cache for lines of the scope, writing dirty
@@ -253,13 +317,14 @@ func (c *L1) ScanFlushScope(scope mem.ScopeID) (setsScanned, flushed int) {
 			continue
 		}
 		setsScanned++
-		var victims []*Line
-		c.arr.ForEachInSet(s, func(ln *Line) {
-			if ln.Scope == scope && ln.PIMEnabled {
-				victims = append(victims, ln)
+		c.victims = c.victims[:0]
+		set := c.arr.set(s)
+		for i := range set {
+			if set[i].valid && set[i].Scope == scope && set[i].PIMEnabled {
+				c.victims = append(c.victims, &set[i])
 			}
-		})
-		for _, ln := range victims {
+		}
+		for _, ln := range c.victims {
 			flushed++
 			c.evict(ln)
 		}

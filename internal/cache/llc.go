@@ -29,6 +29,11 @@ type LLC struct {
 	SBV    *core.SBV
 	Scopes *mem.ScopeMap
 
+	// Pool supplies requests, fills and line buffers. NewLLC creates a
+	// private pool; the system builder overrides it so the whole machine
+	// shares one.
+	Pool *mem.RequestPool
+
 	l1s  []*L1
 	down []*noc.Link // per-core response links
 
@@ -37,14 +42,32 @@ type LLC struct {
 	mcResp *noc.Link // MC -> LLC fills
 
 	egress     []*mem.Request
+	egHead     int
 	inflightMC int
 	pumping    bool
 
-	queue         []func() sim.Tick
+	queue         []llcWork
+	qHead         int
 	busyUntil     sim.Tick
 	wakeScheduled bool
 
-	mshr map[mem.LineAddr]*llcMiss
+	mshr     map[mem.LineAddr]*llcMiss
+	missFree []*llcMiss
+	fillFree []*fillMsg
+
+	// recallBuf is the scratch an owner L1's dirty payload is recalled
+	// into; every RecallLine result is consumed before the next call.
+	recallBuf [mem.LineSize]byte
+
+	// victims is scanFlush's reusable per-set eviction list.
+	victims []*Line
+
+	// Hoisted callbacks (built once in NewLLC) so the steady-state
+	// request path schedules and sends without allocating closures.
+	wakeFn      func(any)
+	fetchDoneFn func(*mem.Request, any)
+	fillRecvFn  func(any)
+	mcDeliverFn func(any)
 
 	// Tracer, when enabled for CatCache, logs request handling and scans.
 	Tracer *trace.Tracer
@@ -60,10 +83,45 @@ type LLC struct {
 	QueuePeak    int
 }
 
+// llcWork is one queued unit of LLC occupancy: a request to handle or a
+// returned memory fetch to install (fill). A struct instead of a closure
+// keeps the pipeline queue allocation-free.
+type llcWork struct {
+	req  *mem.Request
+	fill bool
+}
+
 type llcMiss struct {
 	stale   bool
 	issued  bool
 	waiters []*mem.Request
+}
+
+// fillMsg is a pooled L1-fill message: grant/deliverFill stage one,
+// deliverFillMsg unpacks it at the core tile and releases it. data, when
+// non-nil, is a pooled line owned by the message.
+type fillMsg struct {
+	l       *LLC
+	addr    mem.LineAddr
+	state   MESI
+	data    []byte
+	writer  uint64
+	pim     bool
+	scope   mem.ScopeID
+	noCache bool
+	coreID  int
+}
+
+// deliverFillMsg runs at the receiving core tile: hand the payload to the
+// L1 and recycle the message and its buffer.
+func deliverFillMsg(x any) {
+	m := x.(*fillMsg)
+	m.l.l1s[m.coreID].Fill(m.addr, m.state, m.data, m.writer, m.pim, m.scope, m.noCache)
+	if m.data != nil {
+		m.l.Pool.PutLine(m.data)
+		m.data = nil
+	}
+	m.l.putFill(m)
 }
 
 // NewLLC builds the shared cache. Wire it with Connect before use.
@@ -76,11 +134,24 @@ func NewLLC(k *sim.Kernel, model core.Model, sets, ways int, hitLatency sim.Tick
 		ScanPerSet:  1,
 		ScanPerLine: 2,
 		Scopes:      scopes,
+		Pool:        mem.NewRequestPool(),
 		mshr:        make(map[mem.LineAddr]*llcMiss),
 	}
 	if model.FlushesLLCOnPIMOp() {
 		l.SB = core.NewScopeBuffer(64, 4)
 		l.SBV = core.NewSBV(sets)
+	}
+	l.wakeFn = func(any) {
+		l.wakeScheduled = false
+		l.process()
+	}
+	l.fillRecvFn = func(x any) { l.enqueueFill(x.(*mem.Request)) }
+	l.fetchDoneFn = func(r *mem.Request, _ any) { l.mcResp.SendCtx(l.fillRecvFn, r) }
+	l.mcDeliverFn = func(x any) {
+		l.inflightMC--
+		if !l.mc.Enqueue(x.(*mem.Request)) {
+			panic("cache: MC rejected a credited request")
+		}
 	}
 	return l
 }
@@ -111,15 +182,52 @@ func (l *LLC) DisableScopeBuffer() { l.SB = nil }
 // (ablation of §IV-B).
 func (l *LLC) DisableSBV() { l.SBV = nil }
 
-// Receive is the entry point for requests arriving over the network.
-func (l *LLC) Receive(req *mem.Request) {
-	l.enqueue(func() sim.Tick { return l.handle(req) })
+func (l *LLC) getMiss() *llcMiss {
+	if n := len(l.missFree); n > 0 {
+		e := l.missFree[n-1]
+		l.missFree = l.missFree[:n-1]
+		return e
+	}
+	return &llcMiss{}
 }
 
-func (l *LLC) enqueue(work func() sim.Tick) {
-	l.queue = append(l.queue, work)
-	if len(l.queue) > l.QueuePeak {
-		l.QueuePeak = len(l.queue)
+func (l *LLC) putMiss(e *llcMiss) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	e.stale, e.issued = false, false
+	l.missFree = append(l.missFree, e)
+}
+
+func (l *LLC) getFill() *fillMsg {
+	if n := len(l.fillFree); n > 0 {
+		m := l.fillFree[n-1]
+		l.fillFree = l.fillFree[:n-1]
+		return m
+	}
+	return &fillMsg{l: l}
+}
+
+func (l *LLC) putFill(m *fillMsg) {
+	*m = fillMsg{l: l}
+	l.fillFree = append(l.fillFree, m)
+}
+
+// Receive is the entry point for requests arriving over the network.
+func (l *LLC) Receive(req *mem.Request) {
+	l.enqueue(llcWork{req: req})
+}
+
+// enqueueFill queues a returned memory fetch for installation.
+func (l *LLC) enqueueFill(fetch *mem.Request) {
+	l.enqueue(llcWork{req: fetch, fill: true})
+}
+
+func (l *LLC) enqueue(w llcWork) {
+	l.queue = append(l.queue, w)
+	if n := len(l.queue) - l.qHead; n > l.QueuePeak {
+		l.QueuePeak = n
 	}
 	l.process()
 }
@@ -130,14 +238,28 @@ func (l *LLC) process() {
 		l.wake()
 		return
 	}
-	if len(l.queue) == 0 {
+	if l.qHead == len(l.queue) {
 		return
 	}
-	work := l.queue[0]
-	l.queue = l.queue[1:]
-	cost := work()
+	w := l.queue[l.qHead]
+	l.queue[l.qHead] = llcWork{}
+	l.qHead++
+	if l.qHead == len(l.queue) {
+		// Drained: rewind so the backing array is reused forever.
+		l.queue = l.queue[:0]
+		l.qHead = 0
+	}
+	var cost sim.Tick
+	if w.fill {
+		cost = l.fillArrived(w.req)
+		// The fetch request's round trip is over; the LLC issued it, so
+		// the LLC releases it (and its pooled data) here.
+		l.Pool.Put(w.req)
+	} else {
+		cost = l.handle(w.req)
+	}
 	l.busyUntil = l.k.Now() + cost
-	if len(l.queue) > 0 {
+	if l.qHead < len(l.queue) {
 		l.wake()
 	}
 }
@@ -147,10 +269,7 @@ func (l *LLC) wake() {
 		return
 	}
 	l.wakeScheduled = true
-	l.k.ScheduleAt(l.busyUntil, func() {
-		l.wakeScheduled = false
-		l.process()
-	})
+	l.k.ScheduleAtCtx(l.busyUntil, l.wakeFn, nil)
 }
 
 // handle services one request and returns the cycles it occupies the LLC.
@@ -176,20 +295,13 @@ func (l *LLC) handle(req *mem.Request) sim.Tick {
 	}
 }
 
+// handleUncacheable passes the request straight to the memory controller.
+// Completion flows through the request's own OnDone: the issuing core's
+// first stage sends the finished request back over its response link, the
+// same hop the old closure wrapper made here.
 func (l *LLC) handleUncacheable(req *mem.Request) sim.Tick {
-	finish := req.Done
-	req.Done = func() {
-		if finish != nil {
-			l.replyToCore(req.Core, finish)
-		}
-	}
 	l.egressPush(req)
 	return 1 // pass-through occupancy
-}
-
-// replyToCore delivers a completion callback over the core's response link.
-func (l *LLC) replyToCore(coreID int, fn func()) {
-	l.down[coreID].Send(fn)
 }
 
 // handleMiss services an L1 GetS/GetM.
@@ -199,10 +311,10 @@ func (l *LLC) handleMiss(req *mem.Request) sim.Tick {
 		l.Hits.Inc()
 		cost := l.HitLatency
 		if ln.Owner >= 0 && ln.Owner != req.Core {
-			data, writer, dirty, present := l.l1s[ln.Owner].RecallLine(req.Line, req.Excl)
+			writer, dirty, present := l.l1s[ln.Owner].RecallLine(req.Line, req.Excl, l.recallBuf[:])
 			if present {
 				if dirty {
-					ln.Data = cloneData(data)
+					setLineData(l.Pool, ln, l.recallBuf[:])
 					ln.Writer = writer
 					ln.Dirty = true
 				}
@@ -214,12 +326,13 @@ func (l *LLC) handleMiss(req *mem.Request) sim.Tick {
 			cost += 8 // owner round trip
 		}
 		l.grant(ln, req)
+		l.Pool.Put(req)
 		return cost
 	}
 	l.Misses.Inc()
 	e := l.mshr[req.Line]
 	if e == nil {
-		e = &llcMiss{}
+		e = l.getMiss()
 		l.mshr[req.Line] = e
 	}
 	e.waiters = append(e.waiters, req)
@@ -231,16 +344,15 @@ func (l *LLC) handleMiss(req *mem.Request) sim.Tick {
 }
 
 func (l *LLC) issueMemoryFetch(line mem.LineAddr, scope mem.ScopeID) {
-	fetch := &mem.Request{Kind: mem.ReqLoad, Line: line, Scope: scope, Core: -1}
-	fetch.Done = func() {
-		l.mcResp.Send(func() {
-			l.enqueue(func() sim.Tick { return l.fillArrived(fetch) })
-		})
-	}
+	fetch := l.Pool.Get()
+	fetch.Kind, fetch.Line, fetch.Scope = mem.ReqLoad, line, scope
+	fetch.Core = -1
+	fetch.OnDone = l.fetchDoneFn
 	l.egressPush(fetch)
 }
 
-// fillArrived installs a memory fill and serves the waiters.
+// fillArrived installs a memory fill and serves the waiters. The caller
+// releases fetch afterwards.
 func (l *LLC) fillArrived(fetch *mem.Request) sim.Tick {
 	e := l.mshr[fetch.Line]
 	if e == nil {
@@ -253,22 +365,25 @@ func (l *LLC) fillArrived(fetch *mem.Request) sim.Tick {
 		// (legitimately pre-PIM, ordered-before) data without caching;
 		// store misses are replayed so they fetch post-PIM data.
 		e.stale = false
-		var replay []*mem.Request
-		waiters := e.waiters
-		e.waiters = nil
-		for _, w := range waiters {
+		keep := e.waiters[:0]
+		for _, w := range e.waiters {
 			if w.Excl {
-				replay = append(replay, w)
+				keep = append(keep, w)
 			} else {
 				l.deliverFill(w, Shared, fetch.Data, fetch.Writer, true)
+				l.Pool.Put(w)
 			}
 		}
-		if len(replay) > 0 {
-			e.waiters = replay
+		for i := len(keep); i < len(e.waiters); i++ {
+			e.waiters[i] = nil
+		}
+		e.waiters = keep
+		if len(e.waiters) > 0 {
 			l.issueMemoryFetch(fetch.Line, fetch.Scope)
 			return l.HitLatency
 		}
 		delete(l.mshr, fetch.Line)
+		l.putMiss(e)
 		return l.HitLatency
 	}
 	delete(l.mshr, fetch.Line)
@@ -276,7 +391,7 @@ func (l *LLC) fillArrived(fetch *mem.Request) sim.Tick {
 	if v.Valid() {
 		// The line reappeared (e.g. installed by a racing writeback path);
 		// reuse the slot.
-		l.arr.Invalidate(v)
+		l.dropLine(v)
 	} else {
 		v = l.arr.Victim(fetch.Line)
 		if v.Valid() {
@@ -284,7 +399,7 @@ func (l *LLC) fillArrived(fetch *mem.Request) sim.Tick {
 		}
 	}
 	l.arr.Install(v, fetch.Line, Shared)
-	v.Data = cloneData(fetch.Data)
+	setLineData(l.Pool, v, fetch.Data)
 	v.Writer = fetch.Writer
 	scope := l.Scopes.ScopeOf(fetch.Line.Addr())
 	v.Scope = scope
@@ -297,14 +412,17 @@ func (l *LLC) fillArrived(fetch *mem.Request) sim.Tick {
 			l.SB.Invalidate(scope)
 		}
 	}
-	waiters := e.waiters
-	for _, w := range waiters {
+	n := len(e.waiters)
+	for _, w := range e.waiters {
 		l.grant(v, w)
+		l.Pool.Put(w)
 	}
-	return l.HitLatency + sim.Tick(len(waiters))
+	l.putMiss(e)
+	return l.HitLatency + sim.Tick(n)
 }
 
 // grant gives the requesting L1 its copy per MESI and replies with a fill.
+// The caller owns (and afterwards releases) req.
 func (l *LLC) grant(ln *Line, req *mem.Request) {
 	var state MESI
 	if req.Excl {
@@ -314,9 +432,9 @@ func (l *LLC) grant(ln *Line, req *mem.Request) {
 				continue
 			}
 			if ln.Sharers&(1<<uint(i)) != 0 || ln.Owner == i {
-				data, writer, dirty, present := l.l1s[i].RecallLine(ln.Addr, true)
+				writer, dirty, present := l.l1s[i].RecallLine(ln.Addr, true, l.recallBuf[:])
 				if present && dirty {
-					ln.Data = cloneData(data)
+					setLineData(l.Pool, ln, l.recallBuf[:])
 					ln.Writer = writer
 					ln.Dirty = true
 				}
@@ -332,26 +450,29 @@ func (l *LLC) grant(ln *Line, req *mem.Request) {
 		ln.Sharers |= 1 << uint(req.Core)
 		state = Shared
 	}
-	data := cloneData(ln.Data)
-	writer := ln.Writer
-	pim := ln.PIMEnabled
-	scope := ln.Scope
-	addr := ln.Addr
-	coreID := req.Core
-	l.replyToCore(coreID, func() {
-		l.l1s[coreID].Fill(addr, state, data, writer, pim, scope, false)
-	})
+	m := l.getFill()
+	m.addr, m.state = ln.Addr, state
+	if ln.Data != nil {
+		m.data = l.Pool.CloneLine(ln.Data)
+	}
+	m.writer = ln.Writer
+	m.pim, m.scope = ln.PIMEnabled, ln.Scope
+	m.coreID = req.Core
+	l.down[m.coreID].SendCtx(deliverFillMsg, m)
 }
 
 // deliverFill sends a bypass (no-cache) fill for a stale miss.
 func (l *LLC) deliverFill(req *mem.Request, state MESI, data []byte, writer uint64, noCache bool) {
-	dataCopy := cloneData(data)
-	coreID := req.Core
-	addr := req.Line
-	scope := req.Scope
-	l.replyToCore(coreID, func() {
-		l.l1s[coreID].Fill(addr, state, dataCopy, writer, scope != mem.NoScope, scope, noCache)
-	})
+	m := l.getFill()
+	m.addr, m.state = req.Line, state
+	if data != nil {
+		m.data = l.Pool.CloneLine(data)
+	}
+	m.writer = writer
+	m.pim, m.scope = req.Scope != mem.NoScope, req.Scope
+	m.noCache = noCache
+	m.coreID = req.Core
+	l.down[m.coreID].SendCtx(deliverFillMsg, m)
 }
 
 // evictVictim enforces inclusivity: recall every L1 copy, write back dirty
@@ -359,9 +480,9 @@ func (l *LLC) deliverFill(req *mem.Request, state MESI, data []byte, writer uint
 func (l *LLC) evictVictim(v *Line) {
 	for i := range l.l1s {
 		if v.Sharers&(1<<uint(i)) != 0 || v.Owner == i {
-			data, writer, dirty, present := l.l1s[i].RecallLine(v.Addr, true)
+			writer, dirty, present := l.l1s[i].RecallLine(v.Addr, true, l.recallBuf[:])
 			if present && dirty {
-				v.Data = cloneData(data)
+				setLineData(l.Pool, v, l.recallBuf[:])
 				v.Writer = writer
 				v.Dirty = true
 			}
@@ -373,15 +494,28 @@ func (l *LLC) evictVictim(v *Line) {
 	if v.PIMEnabled && l.SBV != nil {
 		l.SBV.OnEvict(l.arr.SetOf(v.Addr))
 	}
+	l.dropLine(v)
+}
+
+// dropLine invalidates a slot, returning its payload buffer to the pool.
+func (l *LLC) dropLine(v *Line) {
+	if v.Data != nil {
+		l.Pool.PutLine(v.Data)
+		v.Data = nil
+	}
 	l.arr.Invalidate(v)
 }
 
 func (l *LLC) writebackToMemory(v *Line) {
 	l.Writebacks.Inc()
-	l.egressPush(&mem.Request{
-		Kind: mem.ReqWriteback, Line: v.Addr, Scope: v.Scope,
-		Data: cloneData(v.Data), Writer: v.Writer, Core: -1,
-	})
+	r := l.Pool.Get()
+	r.Kind, r.Line, r.Scope = mem.ReqWriteback, v.Addr, v.Scope
+	r.Writer, r.Core = v.Writer, -1
+	if v.Data != nil {
+		r.Data = l.Pool.CloneLine(v.Data)
+		r.DataPooled = true
+	}
+	l.egressPush(r)
 }
 
 // WritebackFromL1 merges a dirty L1 eviction. State changes are atomic;
@@ -393,7 +527,7 @@ func (l *LLC) WritebackFromL1(coreID int, line mem.LineAddr, data []byte, writer
 		// data; nothing to do.
 		return
 	}
-	ln.Data = cloneData(data)
+	setLineData(l.Pool, ln, data)
 	ln.Writer = writer
 	ln.Dirty = true
 	if ln.Owner == coreID {
@@ -410,10 +544,20 @@ func (l *LLC) handleFlush(req *mem.Request) sim.Tick {
 		l.evictVictim(ln) // recalls L1 copies, writes back if dirty
 		cost += l.ScanPerLine
 	}
-	if req.Done != nil {
-		l.replyToCore(req.Core, req.Done)
-	}
+	l.ackRequester(req)
 	return cost
+}
+
+// ackRequester completes a request that terminates at the LLC (flush,
+// scope-fence) by sending it back over the issuing core's response link;
+// the completion callback — and the release — run at the core tile. A
+// request nobody waits on is released here.
+func (l *LLC) ackRequester(req *mem.Request) {
+	if req.OnDone != nil {
+		l.down[req.Core].SendCtx(completeReq, req)
+	} else {
+		l.Pool.Put(req)
+	}
 }
 
 // handlePIMOp implements Fig. 4: scope buffer lookup, scan-and-flush on a
@@ -457,9 +601,7 @@ func (l *LLC) handleScopeFence(req *mem.Request) sim.Tick {
 			l.SB.Insert(req.Scope)
 		}
 	}
-	if req.Done != nil {
-		l.replyToCore(req.Core, req.Done)
-	}
+	l.ackRequester(req)
 	return l.HitLatency + cost
 }
 
@@ -473,13 +615,14 @@ func (l *LLC) scanFlush(scope mem.ScopeID) sim.Tick {
 			continue
 		}
 		scanned++
-		var victims []*Line
-		l.arr.ForEachInSet(s, func(ln *Line) {
-			if ln.Scope == scope {
-				victims = append(victims, ln)
+		l.victims = l.victims[:0]
+		set := l.arr.set(s)
+		for i := range set {
+			if set[i].valid && set[i].Scope == scope {
+				l.victims = append(l.victims, &set[i])
 			}
-		})
-		for _, ln := range victims {
+		}
+		for _, ln := range l.victims {
 			flushed++
 			l.evictVictim(ln)
 		}
@@ -515,22 +658,22 @@ func (l *LLC) pump() {
 		return
 	}
 	l.pumping = true
-	for len(l.egress) > 0 && l.mc.QueueLen()+l.inflightMC < l.mc.QueueSize {
-		req := l.egress[0]
-		l.egress = l.egress[1:]
+	for l.egHead < len(l.egress) && l.mc.QueueLen()+l.inflightMC < l.mc.QueueSize {
+		req := l.egress[l.egHead]
+		l.egress[l.egHead] = nil
+		l.egHead++
 		l.inflightMC++
-		l.mcLink.SendOrdered(func() {
-			l.inflightMC--
-			if !l.mc.Enqueue(req) {
-				panic("cache: MC rejected a credited request")
-			}
-		})
+		l.mcLink.SendOrderedCtx(l.mcDeliverFn, req)
+	}
+	if l.egHead == len(l.egress) {
+		l.egress = l.egress[:0]
+		l.egHead = 0
 	}
 	l.pumping = false
 }
 
 // EgressBacklog reports requests waiting for MC space (congestion signal).
-func (l *LLC) EgressBacklog() int { return len(l.egress) }
+func (l *LLC) EgressBacklog() int { return len(l.egress) - l.egHead }
 
 // HasLine reports LLC presence of a line (tests).
 func (l *LLC) HasLine(line mem.LineAddr) bool { return l.arr.Peek(line).Valid() }

@@ -23,6 +23,12 @@ import (
 // credit exhaustion) or leaves the core *waiting* for a specific completion
 // callback (load fills, ACK of an atomic PIM op, barriers). Spurious wakes
 // never advance the stream: they only re-evaluate parked instructions.
+//
+// The steady-state memory path is allocation-free: requests come from Pool,
+// completions are package-level functions carried on the request
+// (OnDone/Ctx/Arg), per-burst trackers and store data buffers are recycled,
+// and every recurring event callback is hoisted and scheduled via the
+// kernel's (fn, ctx) form.
 type Core struct {
 	k  *sim.Kernel
 	ID int
@@ -31,7 +37,15 @@ type Core struct {
 	L1     *cache.L1
 	LLC    *cache.LLC
 	Direct *noc.Link // core -> LLC path for PIM ops, flushes, uncacheable
+	// Reply is the LLC -> core response link (the same link the LLC uses
+	// for fills); requests that complete at the memory controller hop back
+	// over it before their core-side completion runs.
+	Reply  *noc.Link
 	Scopes *mem.ScopeMap
+
+	// Pool supplies requests and store-data buffers. NewCore creates a
+	// private pool; the system builder overrides it with the shared one.
+	Pool *mem.RequestPool
 
 	// HB, when non-nil and enabled, records the happens-before relation.
 	HB *core.Recorder
@@ -60,10 +74,25 @@ type Core struct {
 	// finished) must never resume a later wait.
 	awaitSeq uint64
 
+	// Scalar-load completion state. The core awaits each load, so at most
+	// one scalar load is outstanding and its continuation state lives here
+	// instead of in a per-request closure.
+	ldIn   Instr
+	ldEv   core.EventID
+	ldLine mem.LineAddr
+	ldTok  uint64
+
+	// Flush completion state (one flush instruction outstanding at most).
+	flushRemaining int
+	flushTok       uint64
+
 	// Store buffer (TSO FIFO; PIM ops ride it under the store model).
 	sb        []sbEntry
 	sbWaiting bool
 	draining  bool
+
+	// burstFree recycles burst trackers.
+	burstFree []*burstState
 
 	// Scope-model per-scope PIM queues (non-FIFO entry point, §V-D).
 	pimQueues map[mem.ScopeID][]*pimEntry
@@ -79,6 +108,22 @@ type Core struct {
 	reqID uint64
 
 	lastInstr InstrKind
+
+	// Hoisted event callbacks and completion functions, built once in
+	// NewCore.
+	stepFn        func(any)
+	wakeFn        func(any)
+	drainFn       func(any)
+	fwdPIMFn      func(any)
+	directFn      func(any)
+	uncLoadDone   func(*mem.Request, any) // stage 1: hop back over Reply
+	uncLoadFin    func(any)               // stage 2: core-side completion
+	uncBurstDone  func(*mem.Request, any)
+	uncBurstFin   func(any)
+	uncStoreDone  func(*mem.Request, any)
+	uncStoreFin   func(any)
+	flushDoneFn   func(*mem.Request, any)
+	fenceDoneFn   func(*mem.Request, any)
 
 	// Stats.
 	Instrs      stats.Counter
@@ -98,8 +143,9 @@ const (
 )
 
 type sbEntry struct {
-	line   mem.LineAddr
-	off    int
+	line mem.LineAddr
+	off  int
+	// data is a pool-owned buffer (released when the entry retires).
 	data   []byte
 	scope  mem.ScopeID
 	writer core.EventID
@@ -117,7 +163,7 @@ type pimEntry struct {
 
 // NewCore builds a core; wire the caches/links before Start.
 func NewCore(k *sim.Kernel, id int, model core.Model) *Core {
-	return &Core{
+	c := &Core{
 		k:              k,
 		ID:             id,
 		Model:          model,
@@ -127,16 +173,77 @@ func NewCore(k *sim.Kernel, id int, model core.Model) *Core {
 		MLP:            8,
 		StoreBufferCap: 32,
 		PIMCredits:     48,
+		Pool:           mem.NewRequestPool(),
 		pimQueues:      make(map[mem.ScopeID][]*pimEntry),
 		pimUnacked:     make(map[mem.ScopeID]int),
 		fencePending:   make(map[mem.ScopeID]int),
 	}
+	c.stepFn = func(any) { c.step() }
+	c.wakeFn = func(any) {
+		c.wakeQueued = false
+		if c.state != stRetry {
+			return
+		}
+		c.state = stRunning
+		in := c.pending
+		c.exec(in)
+	}
+	c.drainFn = func(any) {
+		c.draining = false
+		c.drainStep()
+	}
+	c.fwdPIMFn = func(x any) { c.L1.ForwardPIM(x.(*mem.Request)) }
+	c.directFn = func(x any) { c.LLC.Receive(x.(*mem.Request)) }
+	c.uncLoadFin = func(x any) {
+		r := x.(*mem.Request)
+		c.outLoads--
+		if c.hbOn() {
+			c.HB.RecordRead(c.ldEv, c.ldLine, r.Writer)
+		}
+		c.deliverLoad(c.ldIn, c.ldLine, r.Data)
+		c.Pool.Put(r)
+		c.resume(c.ldTok, 0)
+	}
+	c.uncLoadDone = func(r *mem.Request, _ any) { c.Reply.SendCtx(c.uncLoadFin, r) }
+	c.uncBurstFin = func(x any) {
+		r := x.(*mem.Request)
+		bs := r.Ctx.(*burstState)
+		bs.inflight--
+		if r.Arg != 0 { // first word of the line
+			c.deliverLoad(bs.in, r.Line, r.Data)
+		}
+		c.Pool.Put(r)
+		c.burstStep(bs)
+	}
+	c.uncBurstDone = func(r *mem.Request, _ any) { c.Reply.SendCtx(c.uncBurstFin, r) }
+	c.uncStoreFin = func(x any) {
+		c.Pool.Put(x.(*mem.Request))
+		c.popStore()
+	}
+	c.uncStoreDone = func(r *mem.Request, _ any) { c.Reply.SendCtx(c.uncStoreFin, r) }
+	c.flushDoneFn = func(r *mem.Request, _ any) {
+		c.Pool.Put(r)
+		c.flushRemaining--
+		if c.flushRemaining == 0 {
+			c.resume(c.flushTok, 0)
+		}
+	}
+	c.fenceDoneFn = func(r *mem.Request, _ any) {
+		s := r.Scope
+		c.Pool.Put(r)
+		c.fencePending[s]--
+		if c.fencePending[s] == 0 {
+			delete(c.fencePending, s)
+		}
+		c.wake()
+	}
+	return c
 }
 
 // Start begins executing t.
 func (c *Core) Start(t Thread) {
 	c.thread = t
-	c.k.Schedule(0, c.step)
+	c.k.ScheduleCtx(0, c.stepFn, nil)
 }
 
 // Done reports thread completion.
@@ -149,15 +256,7 @@ func (c *Core) wake() {
 		return
 	}
 	c.wakeQueued = true
-	c.k.Schedule(0, func() {
-		c.wakeQueued = false
-		if c.state != stRetry {
-			return
-		}
-		c.state = stRunning
-		in := c.pending
-		c.exec(in)
-	})
+	c.k.ScheduleCtx(0, c.wakeFn, nil)
 }
 
 // resume continues the stream after the completion callback matching
@@ -213,7 +312,7 @@ func (c *Core) retire() {
 }
 
 func (c *Core) next(after sim.Tick) {
-	c.k.Schedule(after+c.IssueCost, c.step)
+	c.k.ScheduleCtx(after+c.IssueCost, c.stepFn, nil)
 }
 
 func (c *Core) exec(in Instr) {
@@ -248,10 +347,12 @@ func (c *Core) scopeOf(a mem.Addr) mem.ScopeID { return c.Scopes.ScopeOf(a) }
 
 func (c *Core) newReq(kind mem.ReqKind, line mem.LineAddr, scope mem.ScopeID) *mem.Request {
 	c.reqID++
-	return &mem.Request{
-		ID: c.reqID<<8 | uint64(c.ID), Kind: kind, Line: line, Scope: scope,
-		Core: c.ID, PIMEnabled: scope != mem.NoScope,
-	}
+	r := c.Pool.Get()
+	r.ID = c.reqID<<8 | uint64(c.ID)
+	r.Kind, r.Line, r.Scope = kind, line, scope
+	r.Core = c.ID
+	r.PIMEnabled = scope != mem.NoScope
+	return r
 }
 
 // ---- stores ----
@@ -268,7 +369,7 @@ func (c *Core) execStore(in Instr) {
 	if c.hbOn() {
 		ev = c.HB.RecordOp(c.ID, core.OpRef{Class: core.OpStore, Scope: scope, Line: line}, in.Label)
 	}
-	data := make([]byte, len(in.Data))
+	data := c.Pool.GetLine()[:len(in.Data)]
 	copy(data, in.Data)
 	c.sb = append(c.sb, sbEntry{
 		line: line, off: int(in.Addr - line.Addr()), data: data,
@@ -284,10 +385,22 @@ func (c *Core) kickDrain() {
 		return
 	}
 	c.draining = true
-	c.k.Schedule(1, func() {
-		c.draining = false
-		c.drainStep()
-	})
+	c.k.ScheduleCtx(1, c.drainFn, nil)
+}
+
+// exclFillDone is the exclusive-fill continuation for the store-buffer
+// head: drainStep froze the head (issued=true), so the entry to retire is
+// always sb[0].
+func exclFillDone(ctx any) {
+	c := ctx.(*Core)
+	e := &c.sb[0]
+	if !c.L1.TryStore(e.line, e.off, e.data, uint64(e.writer)) {
+		panic("cpu: store failed after exclusive fill")
+	}
+	if c.hbOn() {
+		c.HB.RecordWrite(e.writer, e.line)
+	}
+	c.popStore()
 }
 
 // drainStep retires the store buffer head (TSO: stores leave in order; a
@@ -321,7 +434,7 @@ func (c *Core) drainStep() {
 		req.Data = e.data
 		req.Off, req.Size = e.off, len(e.data)
 		req.Writer = uint64(e.writer)
-		req.Done = func() { c.popStore() }
+		req.OnDone = c.uncStoreDone
 		c.sendDirect(req)
 		return
 	}
@@ -336,21 +449,20 @@ func (c *Core) drainStep() {
 	e.issued = true
 	req := c.newReq(mem.ReqLoad, e.line, e.scope)
 	req.Excl = true
-	line, off, data, writer := e.line, e.off, e.data, e.writer
-	c.L1.RequestLine(req, nil, func() {
-		if !c.L1.TryStore(line, off, data, uint64(writer)) {
-			panic("cpu: store failed after exclusive fill")
-		}
-		if c.hbOn() {
-			c.HB.RecordWrite(writer, line)
-		}
-		c.popStore()
-	})
+	c.L1.RequestLine(req, cache.FillWaiter{}, cache.ExclWaiter{Fn: exclFillDone, Ctx: c})
 }
 
+// popStore retires the store-buffer head, releasing its data buffer. The
+// buffer is shifted out in place so the backing array never reallocates.
 func (c *Core) popStore() {
-	scope := c.sb[0].scope
-	c.sb = c.sb[1:]
+	head := c.sb[0]
+	scope := head.scope
+	if head.data != nil {
+		c.Pool.PutLine(head.data)
+	}
+	n := copy(c.sb, c.sb[1:])
+	c.sb[n] = sbEntry{}
+	c.sb = c.sb[:n]
 	c.drainProgressed()
 	c.tryLaunchScopePIM(scope)
 	c.kickDrain()
@@ -434,6 +546,18 @@ func (c *Core) totalPIMPending() int {
 	return n
 }
 
+// loadFillDone is the cached-load fill continuation; the core awaits each
+// scalar load, so its state (ldIn/ldEv/ldTok) lives on the Core.
+func loadFillDone(ctx any, line mem.LineAddr, data []byte, writer uint64) {
+	c := ctx.(*Core)
+	c.outLoads--
+	if c.hbOn() {
+		c.HB.RecordRead(c.ldEv, line, writer)
+	}
+	c.deliverLoad(c.ldIn, line, data)
+	c.resume(c.ldTok, 0)
+}
+
 func (c *Core) execLoad(in Instr) {
 	size := in.Size
 	if size <= 0 {
@@ -470,15 +594,9 @@ func (c *Core) execLoad(in Instr) {
 		req.Uncacheable = true
 		req.Off, req.Size = int(in.Addr-line.Addr()), size
 		c.outLoads++
-		tok := c.await()
-		req.Done = func() {
-			c.outLoads--
-			if c.hbOn() {
-				c.HB.RecordRead(ev, line, req.Writer)
-			}
-			c.deliverLoad(in, line, req.Data)
-			c.resume(tok, 0)
-		}
+		c.ldIn, c.ldEv, c.ldLine = in, ev, line
+		c.ldTok = c.await()
+		req.OnDone = c.uncLoadDone
 		c.sendDirect(req)
 		return
 	}
@@ -492,15 +610,9 @@ func (c *Core) execLoad(in Instr) {
 	}
 	req := c.newReq(mem.ReqLoad, line, scope)
 	c.outLoads++
-	tok := c.await()
-	c.L1.RequestLine(req, func(data []byte, writer uint64) {
-		c.outLoads--
-		if c.hbOn() {
-			c.HB.RecordRead(ev, line, writer)
-		}
-		c.deliverLoad(in, line, data)
-		c.resume(tok, 0)
-	}, nil)
+	c.ldIn, c.ldEv, c.ldLine = in, ev, line
+	c.ldTok = c.await()
+	c.L1.RequestLine(req, cache.FillWaiter{Fn: loadFillDone, Ctx: c}, cache.ExclWaiter{})
 }
 
 func (c *Core) deliverLoad(in Instr, line mem.LineAddr, data []byte) {
@@ -512,13 +624,54 @@ func (c *Core) deliverLoad(in Instr, line mem.LineAddr, data []byte) {
 // ---- bursts ----
 
 type burstState struct {
+	c        *Core
 	in       Instr
 	lines    []mem.LineAddr
 	words    []int
 	idx      int
 	inflight int
-	token    uint64
-	done     bool
+	// polls counts scheduled retryBurst callbacks still in flight; the
+	// tracker is recycled only when none remain, so a stale poll can
+	// never poke a reused tracker.
+	polls int
+	token uint64
+	done  bool
+}
+
+func (c *Core) getBurst(in Instr) *burstState {
+	if n := len(c.burstFree); n > 0 {
+		bs := c.burstFree[n-1]
+		c.burstFree = c.burstFree[:n-1]
+		bs.in = in
+		return bs
+	}
+	return &burstState{c: c, in: in}
+}
+
+func (c *Core) maybeFreeBurst(bs *burstState) {
+	if bs.done && bs.inflight == 0 && bs.polls == 0 {
+		bs.in = Instr{}
+		bs.lines = bs.lines[:0]
+		bs.words = bs.words[:0]
+		bs.idx, bs.token = 0, 0
+		bs.done = false
+		c.burstFree = append(c.burstFree, bs)
+	}
+}
+
+// burstPoll is the retryBurst continuation.
+func burstPoll(x any) {
+	bs := x.(*burstState)
+	bs.polls--
+	bs.c.burstStep(bs)
+}
+
+// burstFillDone is the cached fill continuation of one burst line.
+func burstFillDone(ctx any, line mem.LineAddr, data []byte, _ uint64) {
+	bs := ctx.(*burstState)
+	bs.inflight--
+	bs.c.deliverLoad(bs.in, line, data)
+	bs.c.burstStep(bs)
 }
 
 func (c *Core) execBurst(in Instr) {
@@ -529,7 +682,7 @@ func (c *Core) execBurst(in Instr) {
 		c.kickDrain()
 		return
 	}
-	bs := &burstState{in: in}
+	bs := c.getBurst(in)
 	for _, r := range in.Burst {
 		if r.Bytes <= 0 {
 			continue
@@ -548,6 +701,8 @@ func (c *Core) execBurst(in Instr) {
 		}
 	}
 	if len(bs.lines) == 0 {
+		bs.done = true
+		c.maybeFreeBurst(bs)
 		c.next(0)
 		return
 	}
@@ -557,7 +712,8 @@ func (c *Core) execBurst(in Instr) {
 
 func (c *Core) burstStep(bs *burstState) {
 	if bs.done {
-		return // stale poll after completion
+		c.maybeFreeBurst(bs) // stale poll/completion after the burst ended
+		return
 	}
 	for bs.idx < len(bs.lines) {
 		line := bs.lines[bs.idx]
@@ -580,14 +736,11 @@ func (c *Core) burstStep(bs *burstState) {
 				req := c.newReq(mem.ReqLoad, line, scope)
 				req.Uncacheable = true
 				req.Off, req.Size = w*mem.WordSize, mem.WordSize
-				first := w == 0
-				req.Done = func() {
-					bs.inflight--
-					if first {
-						c.deliverLoad(bs.in, line, req.Data)
-					}
-					c.burstStep(bs)
+				if w == 0 {
+					req.Arg = 1 // deliver data once per line
 				}
+				req.OnDone = c.uncBurstDone
+				req.Ctx = bs
 				c.sendDirect(req)
 			}
 			if bs.inflight >= c.MLP {
@@ -602,26 +755,34 @@ func (c *Core) burstStep(bs *burstState) {
 		}
 		bs.inflight++
 		req := c.newReq(mem.ReqLoad, line, scope)
-		c.L1.RequestLine(req, func(data []byte, writer uint64) {
-			bs.inflight--
-			c.deliverLoad(bs.in, line, data)
-			c.burstStep(bs)
-		}, nil)
+		c.L1.RequestLine(req, cache.FillWaiter{Fn: burstFillDone, Ctx: bs}, cache.ExclWaiter{})
 	}
 	if bs.inflight == 0 {
 		bs.done = true
-		c.resume(bs.token, 0) // burst complete
+		tok := bs.token
+		c.maybeFreeBurst(bs)
+		c.resume(tok, 0) // burst complete
 	}
 }
 
 func (c *Core) retryBurst(bs *burstState, after sim.Tick) {
-	c.k.Schedule(after, func() { c.burstStep(bs) })
+	bs.polls++
+	c.k.ScheduleCtx(after, burstPoll, bs)
 }
 
 // ---- PIM ops ----
 
+// buildPIMReq constructs a PIM-op request. PIM requests are deliberately
+// NOT pooled: the ACK path compares request identity (see OnPIMAck) and
+// the request outlives its controller-side completion until the module
+// finishes, so recycling would alias in-flight ops.
 func (c *Core) buildPIMReq(in Instr) *pimEntry {
-	req := c.newReq(mem.ReqPIMOp, mem.LineOf(c.Scopes.ScopeBase(in.Scope)), in.Scope)
+	c.reqID++
+	req := &mem.Request{
+		ID: c.reqID<<8 | uint64(c.ID), Kind: mem.ReqPIMOp,
+		Line: mem.LineOf(c.Scopes.ScopeBase(in.Scope)), Scope: in.Scope,
+		Core: c.ID, PIMEnabled: in.Scope != mem.NoScope,
+	}
 	req.PIM = &mem.PIMCommand{Scope: in.Scope, Program: in.Prog}
 	var ev core.EventID
 	if c.hbOn() {
@@ -729,7 +890,7 @@ func (c *Core) tryLaunchScopePIM(scope mem.ScopeID) {
 
 // sendDirect routes a request over the core's direct link to the LLC.
 func (c *Core) sendDirect(req *mem.Request) {
-	c.Direct.Send(func() { c.LLC.Receive(req) })
+	c.Direct.SendCtx(c.directFn, req)
 }
 
 // OnPIMAck handles the memory controller's ACK wire (always delivered; the
@@ -746,7 +907,9 @@ func (c *Core) OnPIMAck(req *mem.Request) {
 	case core.Store:
 		// The FIFO head was this PIM op; retire it and resume the drain.
 		if len(c.sb) > 0 && c.sb[0].pim != nil && c.sb[0].pim.req == req {
-			c.sb = c.sb[1:]
+			n := copy(c.sb, c.sb[1:])
+			c.sb[n] = sbEntry{}
+			c.sb = c.sb[:n]
 		}
 		c.drainProgressed()
 		c.kickDrain()
@@ -774,16 +937,11 @@ func (c *Core) execFlush(in Instr) {
 		c.next(0)
 		return
 	}
-	remaining := len(in.Lines)
-	tok := c.await()
+	c.flushRemaining = len(in.Lines)
+	c.flushTok = c.await()
 	for _, line := range in.Lines {
 		req := c.newReq(mem.ReqFlush, line, c.scopeOf(line.Addr()))
-		req.Done = func() {
-			remaining--
-			if remaining == 0 {
-				c.resume(tok, 0)
-			}
-		}
+		req.OnDone = c.flushDoneFn
 		c.sendDirect(req)
 	}
 }
@@ -843,14 +1001,8 @@ func (c *Core) execScopeFence(in Instr) {
 	cost := sim.Tick(sets) + 2*sim.Tick(flushed)
 	c.fencePending[in.Scope]++
 	req := c.newReq(mem.ReqScopeFence, mem.LineOf(c.Scopes.ScopeBase(in.Scope)), in.Scope)
-	req.Done = func() {
-		c.fencePending[in.Scope]--
-		if c.fencePending[in.Scope] == 0 {
-			delete(c.fencePending, in.Scope)
-		}
-		c.wake()
-	}
-	c.k.Schedule(cost, func() { c.L1.ForwardPIM(req) })
+	req.OnDone = c.fenceDoneFn
+	c.k.ScheduleCtx(cost, c.fwdPIMFn, req)
 	// The fence does not block the core; same-scope operations wait for
 	// its completion (conservative implementation of the path rule).
 	c.next(1)

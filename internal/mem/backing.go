@@ -20,12 +20,11 @@ const backPageSize = 4096
 
 type backPage [backPageSize]byte
 
-// NewBacking returns an empty sparse memory.
+// NewBacking returns an empty sparse memory. The writers map is allocated
+// lazily on the first tracked write: timing-only runs (TrackWriters false)
+// never touch it.
 func NewBacking() *Backing {
-	return &Backing{
-		pages:   make(map[uint64]*backPage),
-		writers: make(map[LineAddr]uint64),
-	}
+	return &Backing{pages: make(map[uint64]*backPage)}
 }
 
 func (b *Backing) page(a Addr, create bool) (*backPage, uint64) {
@@ -113,6 +112,9 @@ func (b *Backing) SetByte(a Addr, v byte) {
 // TrackWriters).
 func (b *Backing) SetWriter(l LineAddr, ev uint64) {
 	if b.TrackWriters {
+		if b.writers == nil {
+			b.writers = make(map[LineAddr]uint64)
+		}
 		b.writers[l] = ev
 	}
 }
@@ -122,6 +124,9 @@ func (b *Backing) SetWriter(l LineAddr, ev uint64) {
 func (b *Backing) SetWriterRange(a Addr, n uint64, ev uint64) {
 	if !b.TrackWriters || n == 0 {
 		return
+	}
+	if b.writers == nil {
+		b.writers = make(map[LineAddr]uint64)
 	}
 	first := LineOf(a)
 	last := LineOf(a + Addr(n) - 1)

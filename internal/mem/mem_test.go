@@ -151,6 +151,28 @@ func TestBackingWriterTracking(t *testing.T) {
 	}
 }
 
+// The writers map is lazy: timing-only runs never allocate it, and either
+// SetWriter entry point materializes it on first tracked write.
+func TestBackingWritersMapLazy(t *testing.T) {
+	b := NewBacking()
+	b.SetWriter(64, 7)
+	b.SetWriterRange(0, 128, 8)
+	if b.writers != nil {
+		t.Fatal("untracked writes allocated the writers map")
+	}
+	b.TrackWriters = true
+	b.SetWriterRange(0, 64, 3)
+	if b.WriterOf(0) != 3 {
+		t.Fatal("lazy map lost a tracked range write")
+	}
+	c := NewBacking()
+	c.TrackWriters = true
+	c.SetWriter(64, 5)
+	if c.WriterOf(64) != 5 {
+		t.Fatal("lazy map lost a tracked write")
+	}
+}
+
 // Property: write-then-read round trips arbitrary buffers at arbitrary
 // addresses.
 func TestBackingRoundTripProperty(t *testing.T) {

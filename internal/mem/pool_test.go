@@ -1,0 +1,106 @@
+package mem
+
+import "testing"
+
+func TestRequestPoolReuse(t *testing.T) {
+	p := NewRequestPool()
+	r := p.Get()
+	r.Kind = ReqStore
+	r.Line = 0x1234
+	r.OnDone = func(*Request, any) {}
+	r.Ctx = 7
+	p.Put(r)
+	if got := p.Get(); got != r {
+		t.Fatalf("pool did not recycle the released request (got %p, want %p)", got, r)
+	} else if got.Kind != ReqLoad || got.Line != 0 || got.OnDone != nil || got.Ctx != nil {
+		t.Fatalf("recycled request not zeroed: %+v", got)
+	}
+	if p.Gets != 2 || p.Puts != 1 {
+		t.Fatalf("Gets/Puts = %d/%d, want 2/1", p.Gets, p.Puts)
+	}
+}
+
+func TestRequestPoolDoublePutPanics(t *testing.T) {
+	p := NewRequestPool()
+	r := p.Get()
+	p.Put(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(r)
+}
+
+func TestRequestPoolReleasesPooledData(t *testing.T) {
+	p := NewRequestPool()
+	r := p.Get()
+	r.Data = p.GetLine()
+	r.DataPooled = true
+	before := p.FreeLines()
+	p.Put(r)
+	if got := p.FreeLines(); got != before+1 {
+		t.Fatalf("FreeLines = %d after Put, want %d (pooled Data not released)", got, before+1)
+	}
+}
+
+func TestLinePoolZeroesAndReuses(t *testing.T) {
+	p := NewRequestPool()
+	b := p.GetLine()
+	if len(b) != LineSize {
+		t.Fatalf("GetLine len = %d, want %d", len(b), LineSize)
+	}
+	for i := range b {
+		b[i] = 0xAB
+	}
+	p.PutLine(b)
+	c := p.GetLine()
+	if &c[0] != &b[0] {
+		t.Fatal("line pool did not recycle the released buffer")
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("recycled line not zeroed at %d: %#x", i, v)
+		}
+	}
+	src := []byte{1, 2, 3}
+	cl := p.CloneLine(src)
+	if cl[0] != 1 || cl[1] != 2 || cl[2] != 3 || cl[3] != 0 {
+		t.Fatalf("CloneLine = %v", cl[:4])
+	}
+}
+
+func TestDisabledPoolAllocates(t *testing.T) {
+	p := &RequestPool{Disabled: true}
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("disabled pool returned the same request twice")
+	}
+	p.Put(a) // no-op; a second Put must not panic when disabled
+	p.Put(a)
+}
+
+// TestRequestPoolAllocationFree pins the tentpole property at the pool
+// layer: a warmed Get/Put cycle (request + line buffer) performs zero heap
+// allocations.
+func TestRequestPoolAllocationFree(t *testing.T) {
+	p := NewRequestPool()
+	warm := make([]*Request, poolBlock/2)
+	for i := range warm {
+		warm[i] = p.Get()
+		warm[i].Data = p.GetLine()
+		warm[i].DataPooled = true
+	}
+	for _, r := range warm {
+		p.Put(r)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		r := p.Get()
+		r.Data = p.GetLine()
+		r.DataPooled = true
+		r.Kind = ReqLoad
+		p.Put(r)
+	}); avg != 0 {
+		t.Fatalf("warm Get/Put allocates %.1f objects per cycle, want 0", avg)
+	}
+}

@@ -72,8 +72,9 @@ type PIMProgram struct {
 
 // Request is one memory-subsystem transaction. Requests are created by
 // cores (or by caches, for writebacks) and flow core -> L1 -> LLC -> memory
-// controller; Done is invoked when the component that completes the request
-// has finished (data returned, write ordered, PIM op accepted by the MC...).
+// controller; OnDone is invoked when the component that completes the
+// request has finished (data returned, write ordered, PIM op accepted by
+// the MC...).
 type Request struct {
 	ID    uint64
 	Kind  ReqKind
@@ -102,13 +103,51 @@ type Request struct {
 	// caches use it to maintain the SBV (paper §IV-B).
 	PIMEnabled bool
 
-	// Done is called exactly once when the request completes. completedAt
-	// guards double completion in race-prone retry paths.
-	Done func()
+	// OnDone, Ctx and Arg form the closure-free completion scheme: the
+	// completing component calls Complete, which invokes OnDone(r, Ctx)
+	// exactly once. There is no double-completion guard — every path that
+	// completes a request does so on exactly one branch, and under pooling
+	// a second completion would fire on a recycled request, which the
+	// pool's double-Put panic surfaces immediately in tests. Ctx is the
+	// issuer's per-request state (e.g. a *Core or burst tracker); Arg is a
+	// small scalar rider (token, flag word) so issuers don't allocate a
+	// context just to carry an integer.
+	//
+	// Pool lifecycle: a request obtained from a RequestPool is owned by
+	// whichever component currently holds it; ownership transfers with the
+	// request. The component that invokes the completion path releases the
+	// request back to the pool — either directly (Put after a nil-OnDone
+	// writeback finishes) or by convention inside the OnDone callback chain
+	// (the issuer's completion code releases it once no stage needs it).
+	// After release the pointer must not be touched; Data is returned to
+	// the line pool iff DataPooled is set.
+	OnDone func(r *Request, ctx any)
+	Ctx    any
+	Arg    uint64
+
+	// DataPooled marks Data as owned by the system's line pool: releasing
+	// the request (or explicitly its data) returns the buffer for reuse.
+	DataPooled bool
+
+	// pooled tracks whether the request currently lives in a RequestPool
+	// free list, to panic on double-Put instead of corrupting the pool.
+	// fromPool marks requests born from a pool's arena: Put is a no-op on
+	// foreign requests (tests and one-shot paths build Requests directly),
+	// so release points can run unconditionally.
+	pooled, fromPool bool
 
 	// Writer is the happens-before event id of the store/PIM op that
 	// produced the observed data (loads only, functional mode).
 	Writer uint64
+}
+
+// Complete invokes the request's completion callback, if any. Calling it a
+// second time on the same in-flight request is a protocol violation (see
+// OnDone).
+func (r *Request) Complete() {
+	if r.OnDone != nil {
+		r.OnDone(r, r.Ctx)
+	}
 }
 
 func (r *Request) String() string {

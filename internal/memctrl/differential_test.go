@@ -150,12 +150,12 @@ func runStream(t *testing.T, specs []streamSpec, ref bool, modules int, hook fun
 	for i, s := range specs {
 		i, s := i, s
 		req := build(s, i)
-		req.Done = func() {
+		req.OnDone = func(*mem.Request, any) {
 			out.doneAt[i] = k.Now()
 			if s.chain != nil {
 				fi := len(specs) + i
 				follow := build(*s.chain, fi)
-				follow.Done = func() { out.doneAt[fi] = k.Now() }
+				follow.OnDone = func(*mem.Request, any) { out.doneAt[fi] = k.Now() }
 				pending = append(pending, follow)
 				pump()
 			}

@@ -47,6 +47,13 @@ type Controller struct {
 	PIMs    []*pim.Module
 	Backing *mem.Backing
 
+	// Pool recycles requests and line buffers. New creates a private pool;
+	// the system overrides it so every component shares one. finishDRAM
+	// fills load data from it, and the controller — as the completion
+	// invoker — releases requests that carry no completion callback
+	// (writebacks) once they retire.
+	Pool *mem.RequestPool
+
 	// SendACK, when set, is invoked as soon as a PIM op is accepted into
 	// the queue — the point at which its order is guaranteed (§V-A) — so
 	// the host can release gated operations (Fig. 6a step 3 / 6b step 4).
@@ -101,6 +108,13 @@ type Controller struct {
 	// acceptance until PIM-module completion.
 	pimBySeq map[mem.ScopeID][]pimRef
 
+	// entryFree recycles retired entries; finishFn and schedFn are the
+	// once-built event callbacks (ctx = *entry / nil), so steady-state
+	// scheduling allocates neither entries nor closures.
+	entryFree []*entry
+	finishFn  func(any)
+	schedFn   func(any)
+
 	// Tracer, when enabled for CatMC, logs admissions and completions.
 	Tracer *trace.Tracer
 
@@ -154,13 +168,33 @@ func New(k *sim.Kernel, module *pim.Module, backing *mem.Backing) *Controller {
 		Banks:       8,
 		BankBusy:    40,
 		Backing:     backing,
+		Pool:        mem.NewRequestPool(),
 		lineTail:    make(map[mem.LineAddr]*entry),
 		scopeTail:   make(map[mem.ScopeID]*entry),
 		pimBySeq:    make(map[mem.ScopeID][]pimRef),
 	}
 	c.bankFree = make([]sim.Tick, c.Banks)
+	c.finishFn = func(ctx any) { c.finishDRAM(ctx.(*entry)) }
+	c.schedFn = func(any) { c.schedule() }
 	c.AddPIMModule(module)
 	return c
+}
+
+// getEntry pops a recycled entry or allocates one.
+func (c *Controller) getEntry(req *mem.Request, seq uint64) *entry {
+	if n := len(c.entryFree); n > 0 {
+		e := c.entryFree[n-1]
+		c.entryFree = c.entryFree[:n-1]
+		e.req, e.seq, e.state = req, seq, stWaiting
+		return e
+	}
+	return &entry{req: req, seq: seq}
+}
+
+// putEntry recycles a retired (unlinked) entry.
+func (c *Controller) putEntry(e *entry) {
+	e.req = nil
+	c.entryFree = append(c.entryFree, e)
 }
 
 // AddPIMModule attaches another PIM module; scope s routes to module
@@ -192,7 +226,7 @@ func (c *Controller) Enqueue(req *mem.Request) bool {
 		c.Tracer.Emit(trace.CatMC, "mc", "accept %s qlen=%d", req, c.queueLen)
 	}
 	c.seq++
-	e := &entry{req: req, seq: c.seq}
+	e := c.getEntry(req, c.seq)
 	c.link(e)
 	if req.Kind == mem.ReqPIMOp {
 		c.pimBySeq[req.Scope] = append(c.pimBySeq[req.Scope], pimRef{seq: e.seq, req: req})
@@ -333,6 +367,7 @@ func (c *Controller) issue(e *entry, now sim.Tick) bool {
 		}
 		c.PIMForwarded.Inc()
 		c.unlink(e)
+		c.putEntry(e)
 		return true
 	default:
 		bank := int(e.req.Line.Index()) % c.Banks
@@ -341,9 +376,9 @@ func (c *Controller) issue(e *entry, now sim.Tick) bool {
 		}
 		c.bankFree[bank] = now + c.BankBusy
 		e.state = stIssued
-		c.k.Schedule(c.DRAMLatency, func() { c.finishDRAM(e) })
+		c.k.ScheduleCtx(c.DRAMLatency, c.finishFn, e)
 		// Re-arm the bank after its busy window.
-		c.k.Schedule(c.BankBusy, func() { c.schedule() })
+		c.k.ScheduleCtx(c.BankBusy, c.schedFn, nil)
 		return true
 	}
 }
@@ -377,8 +412,9 @@ func (c *Controller) schedule() {
 	// same pass, exactly where the reference scan would reach them.
 	for len(c.ready) > 0 {
 		e := c.ready.pop()
+		isPIM := e.req.Kind == mem.ReqPIMOp // e is recycled on PIM issue
 		if c.issue(e, now) {
-			if e.req.Kind == mem.ReqPIMOp {
+			if isPIM {
 				freed = true
 			}
 		} else {
@@ -400,7 +436,8 @@ func (c *Controller) finishDRAM(e *entry) {
 	case mem.ReqLoad:
 		c.LoadsServed.Inc()
 		if req.Data == nil {
-			req.Data = make([]byte, mem.LineSize)
+			req.Data = c.Pool.GetLine()
+			req.DataPooled = true
 		}
 		c.Backing.ReadLine(req.Line, req.Data)
 		req.Writer = c.Backing.WriterOf(req.Line)
@@ -418,9 +455,13 @@ func (c *Controller) finishDRAM(e *entry) {
 		// Flushes and fences do not reach DRAM.
 	}
 	c.unlink(e)
-	done := req.Done
-	if done != nil {
-		done()
+	c.putEntry(e)
+	if req.OnDone == nil {
+		// Nobody is waiting on this request (writebacks): the controller
+		// invoked the (empty) completion, so it releases the request.
+		c.Pool.Put(req)
+	} else {
+		req.Complete()
 	}
 	c.schedule()
 	if c.OnSpace != nil {
@@ -467,9 +508,7 @@ func (c *Controller) pimCompleted(req *mem.Request) {
 			c.markReady(en)
 		}
 	}
-	if req.Done != nil {
-		req.Done()
-	}
+	req.Complete()
 	c.schedule()
 }
 

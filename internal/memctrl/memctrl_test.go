@@ -32,7 +32,7 @@ func TestLoadReadsBacking(t *testing.T) {
 	b.WriteWord(64, 1234)
 	req := load(64, mem.NoScope)
 	var doneAt sim.Tick
-	req.Done = func() { doneAt = k.Now() }
+	req.OnDone = func(*mem.Request, any) { doneAt = k.Now() }
 	if !c.Enqueue(req) {
 		t.Fatal("enqueue failed")
 	}
@@ -108,7 +108,7 @@ func TestLoadWaitsForEarlierSameScopePIM(t *testing.T) {
 	c.Enqueue(p)
 	ld := load(scopeLine, 2)
 	var loadDone sim.Tick
-	ld.Done = func() { loadDone = k.Now() }
+	ld.OnDone = func(*mem.Request, any) { loadDone = k.Now() }
 	c.Enqueue(ld)
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestLoadToOtherScopeBypassesPIM(t *testing.T) {
 	c.Enqueue(pimop(2))
 	ld := load(64, 3)
 	var loadDone sim.Tick
-	ld.Done = func() { loadDone = k.Now() }
+	ld.OnDone = func(*mem.Request, any) { loadDone = k.Now() }
 	c.Enqueue(ld)
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -171,7 +171,7 @@ func TestSameLineOrdering(t *testing.T) {
 	}()}
 	ld := load(line, mem.NoScope)
 	var got byte
-	ld.Done = func() { got = ld.Data[0] }
+	ld.OnDone = func(*mem.Request, any) { got = ld.Data[0] }
 	c.Enqueue(st)
 	c.Enqueue(ld)
 	if _, err := k.Run(); err != nil {
@@ -213,9 +213,9 @@ func TestBankParallelism(t *testing.T) {
 	a := load(0, mem.NoScope)                                // bank 0
 	b := load(64, mem.NoScope)                               // bank 1
 	s := load(mem.LineAddr(uint64(c.Banks)*64), mem.NoScope) // bank 0 again
-	a.Done = func() { t1 = k.Now() }
-	b.Done = func() { t2 = k.Now() }
-	s.Done = func() { t3 = k.Now() }
+	a.OnDone = func(*mem.Request, any) { t1 = k.Now() }
+	b.OnDone = func(*mem.Request, any) { t2 = k.Now() }
+	s.OnDone = func(*mem.Request, any) { t3 = k.Now() }
 	c.Enqueue(a)
 	c.Enqueue(b)
 	c.Enqueue(s)
@@ -271,7 +271,7 @@ func TestPimCompletedOutOfOrder(t *testing.T) {
 	c.Enqueue(b)
 	ld := load(mem.LineAddr(mem.DefaultPIMBase), 2)
 	loadDone := false
-	ld.Done = func() { loadDone = true }
+	ld.OnDone = func(*mem.Request, any) { loadDone = true }
 	c.Enqueue(ld)
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -327,7 +327,7 @@ func TestNoDeadlockTinyBuffers(t *testing.T) {
 			queue = append(queue, pimop(mem.ScopeID(i%3)))
 		} else {
 			r := load(mem.LineAddr(uint64(i)*64), mem.NoScope)
-			r.Done = func() { completed++ }
+			r.OnDone = func(*mem.Request, any) { completed++ }
 			queue = append(queue, r)
 		}
 	}

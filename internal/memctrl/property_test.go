@@ -49,7 +49,7 @@ func TestControllerOrderingProperty(t *testing.T) {
 				req = &mem.Request{Kind: mem.ReqPIMOp, Scope: scope,
 					PIM: &mem.PIMCommand{Scope: scope, Program: &mem.PIMProgram{}}}
 				i := i
-				req.Done = func() { pimDone[i] = k.Now() }
+				req.OnDone = func(*mem.Request, any) { pimDone[i] = k.Now() }
 			} else {
 				line := mem.LineAddr(mem.DefaultPIMBase) + mem.LineAddr(uint64(sp.Line%16)*mem.LineSize)
 				// Map the line into one of the 3 scopes by offset.
@@ -57,7 +57,7 @@ func TestControllerOrderingProperty(t *testing.T) {
 				req = &mem.Request{Kind: mem.ReqLoad, Line: line, Scope: scope}
 				i := i
 				sp := sp
-				req.Done = func() { dones = append(dones, done{i, k.Now(), sp}) }
+				req.OnDone = func(*mem.Request, any) { dones = append(dones, done{i, k.Now(), sp}) }
 			}
 			idxOf[req] = i
 			queue = append(queue, req)

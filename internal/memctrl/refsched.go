@@ -65,7 +65,8 @@ func (c *Controller) refSchedulePass() {
 		if c.earlierConflictRef(e) {
 			continue
 		}
-		if c.issue(e, now) && e.req.Kind == mem.ReqPIMOp {
+		isPIM := e.req.Kind == mem.ReqPIMOp // e is recycled on PIM issue
+		if c.issue(e, now) && isPIM {
 			freed = true
 		}
 	}

@@ -98,8 +98,11 @@ func (img *ArrayImage) MulFields(aBase, bBase, dstBase, width, carryCol, gateCol
 	nw := img.PlaneWords()
 	// Plane slots: a's bits [0,width), accumulator [width,2*width), then
 	// the multiplier bit, carry and gate planes.
-	aP := make([][]uint64, width)
-	dP := make([][]uint64, width)
+	for cap(img.planeRefs) < 2*width {
+		img.planeRefs = append(img.planeRefs[:cap(img.planeRefs)], nil)
+	}
+	aP := img.planeRefs[:width]
+	dP := img.planeRefs[width : 2*width]
 	for i := 0; i < width; i++ {
 		aP[i] = img.plane(i)
 		img.LoadPlane(aBase+i, aP[i])

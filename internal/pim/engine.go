@@ -18,6 +18,8 @@ type ArrayImage struct {
 	dirty []bool // per row
 
 	planes [][]uint64 // reusable column bit-plane scratch (colview.go)
+	// planeRefs is MulFields' reusable operand/accumulator pointer table.
+	planeRefs [][]uint64
 }
 
 // LoadArray materializes array `array` of the scope at base from b.

@@ -39,6 +39,10 @@ type Module struct {
 
 	buffer    []*mem.Request
 	executing map[mem.ScopeID]*mem.Request
+	// scopeSeen is uniqueScopes' reusable scratch set; completeFn the
+	// hoisted completion callback (both avoid per-op allocation).
+	scopeSeen  map[mem.ScopeID]struct{}
+	completeFn func(any)
 
 	// Stats (names match the figures they feed).
 	BufLenOnArrival   stats.Mean // Fig. 10a
@@ -50,14 +54,17 @@ type Module struct {
 
 // NewModule builds a module bound to kernel k.
 func NewModule(k *sim.Kernel, backing *mem.Backing) *Module {
-	return &Module{
+	m := &Module{
 		k:                k,
 		Backing:          backing,
 		BufferSize:       128,
 		CyclesPerMicroOp: 360, // ~100ns per array micro-op at 3.6GHz
 		FixedOpLatency:   720,
 		executing:        make(map[mem.ScopeID]*mem.Request),
+		scopeSeen:        make(map[mem.ScopeID]struct{}),
 	}
+	m.completeFn = func(x any) { m.complete(x.(*mem.Request)) }
+	return m
 }
 
 // ScopeBusy reports whether scope s is executing an op right now (the
@@ -75,11 +82,11 @@ func (m *Module) InFlight() int { return len(m.buffer) + len(m.executing) }
 
 // uniqueScopes counts distinct scopes in the buffer.
 func (m *Module) uniqueScopes() int {
-	seen := make(map[mem.ScopeID]struct{}, len(m.buffer))
+	clear(m.scopeSeen)
 	for _, r := range m.buffer {
-		seen[r.Scope] = struct{}{}
+		m.scopeSeen[r.Scope] = struct{}{}
 	}
-	return len(seen)
+	return len(m.scopeSeen)
 }
 
 // TryEnqueue accepts a PIM op into the buffer, or reports false when the
@@ -117,9 +124,7 @@ func (m *Module) tryStart() {
 			}
 			m.Tracer.Emit(trace.CatPIM, "pim", "start scope=%d op=%s buffered=%d", req.Scope, name, len(m.buffer))
 		}
-		lat := m.execLatency(req)
-		req := req
-		m.k.Schedule(lat, func() { m.complete(req) })
+		m.k.ScheduleCtx(m.execLatency(req), m.completeFn, req)
 	}
 	m.buffer = kept
 	if freed && m.OnSpace != nil {

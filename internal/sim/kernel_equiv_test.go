@@ -134,6 +134,74 @@ func TestKernelEquivalenceRunUntil(t *testing.T) {
 	}
 }
 
+// TestKernelEquivalenceWideDelays exercises the wheel/heap boundary: delays
+// straddle the wheel horizon (some < wheelSize, some several horizons out)
+// with deliberate tick collisions between near (bucket) and far (heap)
+// schedules, where the far event must fire first because it was scheduled
+// first. The reference scheduler has no horizon, so any boundary bug in
+// bucket/heap ordering diverges the trace.
+func TestKernelEquivalenceWideDelays(t *testing.T) {
+	for _, seed := range []uint64{3, 1 << 33} {
+		run := func(schedule func(Tick, func()), run func()) []int {
+			rng := NewRand(seed)
+			var order []int
+			next := 0
+			budget := 6000
+			var spawn func() func()
+			spawn = func() func() {
+				id := next
+				next++
+				return func() {
+					order = append(order, id)
+					if budget <= 0 {
+						return
+					}
+					n := int(rng.Uint64n(3))
+					for i := 0; i < n && budget > 0; i++ {
+						budget--
+						var d Tick
+						switch rng.Uint64n(4) {
+						case 0:
+							d = Tick(rng.Uint64n(8)) // same-tick / FIFO path
+						case 1:
+							d = Tick(rng.Uint64n(wheelSize)) // wheel
+						case 2:
+							d = wheelSize + Tick(rng.Uint64n(wheelSize)) // just past horizon
+						default:
+							d = Tick(rng.Uint64n(4 * wheelSize)) // collisions across the boundary
+						}
+						schedule(d, spawn())
+					}
+				}
+			}
+			for i := 0; i < 500; i++ {
+				schedule(Tick(rng.Uint64n(3*wheelSize)), spawn())
+			}
+			run()
+			return order
+		}
+
+		k := NewKernel()
+		got := run(k.Schedule, func() {
+			if _, err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ref := &referenceScheduler{}
+		want := run(ref.schedule, ref.run)
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing order diverges at event %d: kernel %d, reference %d",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestScheduleAllocationFree pins the arena pooling: once warm, a
 // schedule/fire cycle performs zero heap allocations (the event closure
 // here is hoisted, exactly like the components' hot paths reuse bound
@@ -156,5 +224,30 @@ func TestScheduleAllocationFree(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Fatalf("Schedule/Run allocates %.1f objects per cycle, want 0", avg)
+	}
+}
+
+// TestScheduleCtxAllocationFree pins the closure-free scheduling shape the
+// components use: a package-level (or hoisted) func(any) plus a pointer
+// context schedules and fires with zero heap allocations.
+func TestScheduleCtxAllocationFree(t *testing.T) {
+	k := NewKernel()
+	type payload struct{ hits int }
+	p := &payload{}
+	fn := func(ctx any) { ctx.(*payload).hits++ }
+	for i := 0; i < 2048; i++ {
+		k.ScheduleCtx(Tick(i%97), fn, p)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.ScheduleCtx(1, fn, p)
+		k.ScheduleCtx(2, fn, p)
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ScheduleCtx/Run allocates %.1f objects per cycle, want 0", avg)
 	}
 }

@@ -69,6 +69,11 @@ type Config struct {
 	NoScopeBuffer bool
 	NoSBV         bool
 
+	// NoPooling disables the shared request/line-buffer pool (every Get
+	// allocates, every Put discards). Perf baseline only: results are
+	// identical either way.
+	NoPooling bool
+
 	// Functional executes PIM programs and verifies data; TrackHB records
 	// the happens-before relation (litmus-scale runs only).
 	Functional bool

@@ -45,6 +45,11 @@ func New(cfg Config) *System {
 	k := sim.NewKernel()
 	k.EventLimit = 0
 	rng := sim.NewRand(cfg.Seed)
+	// One request/line-buffer pool shared by every component, so requests
+	// recycled at one tile are reused by the next (NoPooling reverts every
+	// Get/Put to plain allocation for baseline measurements).
+	pool := mem.NewRequestPool()
+	pool.Disabled = cfg.NoPooling
 	backing := mem.NewBacking()
 	backing.TrackWriters = cfg.Functional || cfg.TrackHB
 	scopes := mem.NewScopeMap(cfg.PIMBase, cfg.ScopeSize, cfg.ScopeCount)
@@ -71,6 +76,7 @@ func New(cfg Config) *System {
 	for _, m := range modules[1:] {
 		mc.AddPIMModule(m)
 	}
+	mc.Pool = pool
 	mc.QueueSize = cfg.MCQueue
 	mc.DRAMLatency = cfg.DRAMLatency
 	mc.Banks = cfg.Banks
@@ -78,6 +84,7 @@ func New(cfg Config) *System {
 	mc.SendACK = nil // wired below
 
 	llc := cache.NewLLC(k, cfg.Model, cfg.LLCSets, cfg.LLCWays, cfg.LLCHitLatency, scopes)
+	llc.Pool = pool
 	llc.ScanPerSet = cfg.ScanPerSet
 	llc.ScanPerLine = cfg.ScanPerLine
 	llc.SetScopeBufferGeometry(cfg.LLCScopeBufSets, cfg.LLCScopeBufWays)
@@ -113,6 +120,7 @@ func New(cfg Config) *System {
 	ackLinks := make([]*noc.Link, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		l1s[i] = cache.NewL1(k, i, cfg.L1Sets, cfg.L1Ways, cfg.L1HitLatency)
+		l1s[i].Pool = pool
 		if cfg.Model.ScopeStructuresInAllCaches() {
 			l1s[i].EnableScopeStructures(cfg.L1ScopeBufSets, cfg.L1ScopeBufWays)
 		}
@@ -129,8 +137,10 @@ func New(cfg Config) *System {
 	cores := make([]*cpu.Core, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		c := cpu.NewCore(k, i, cfg.Model)
+		c.Pool = pool
 		c.L1 = l1s[i]
 		c.LLC = llc
+		c.Reply = down[i]
 		c.Scopes = scopes
 		c.HB = s.HB
 		c.L1HitLatency = cfg.L1HitLatency
@@ -143,12 +153,18 @@ func New(cfg Config) *System {
 	}
 	s.Cores = cores
 
+	// ACK delivery callbacks are hoisted per core so each ACK sends without
+	// allocating a closure.
+	ackFns := make([]func(any), cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		c := cores[i]
+		ackFns[i] = func(x any) { c.OnPIMAck(x.(*mem.Request)) }
+	}
 	mc.SendACK = func(req *mem.Request) {
 		if req.Core < 0 || req.Core >= len(cores) {
 			return
 		}
-		coreID := req.Core
-		ackLinks[coreID].SendOrdered(func() { cores[coreID].OnPIMAck(req) })
+		ackLinks[req.Core].SendOrderedCtx(ackFns[req.Core], req)
 	}
 	return s
 }

@@ -1,0 +1,93 @@
+package system
+
+import (
+	"runtime"
+	"testing"
+
+	"bulkpim/internal/core"
+	"bulkpim/internal/cpu"
+	"bulkpim/internal/mem"
+)
+
+// The transaction-path benchmark drives the full core -> L1 -> LLC ->
+// memory-controller pipeline with a miss-heavy load/store stream: small
+// caches and a working set that never fits, so every op walks the whole
+// hierarchy (fill, eviction, writeback). BenchmarkTransactionPath runs the
+// pooled steady state; the Unpooled variant disables the shared request
+// pool, so benchjson's allocs/op ratio measures exactly what pooling
+// removes — bench.yml gates the reduction at >= 50%.
+
+func txCfg(noPooling bool) Config {
+	cfg := Default()
+	cfg.Model = core.Atomic
+	cfg.Cores = 1
+	cfg.L1Sets, cfg.L1Ways = 4, 2
+	cfg.LLCSets, cfg.LLCWays = 16, 2
+	cfg.NoPooling = noPooling
+	return cfg
+}
+
+// txThread issues n cacheable loads/stores striding over 256 lines —
+// 8x the LLC's 32-line capacity, so the stream misses at every level.
+func txThread(n int) cpu.Thread {
+	payload := []byte{0xA5}
+	i := 0
+	return cpu.FuncThread(func() (cpu.Instr, bool) {
+		if i >= n {
+			return cpu.Instr{}, false
+		}
+		i++
+		addr := mem.Addr(uint64(i%256) * mem.LineSize)
+		if i%3 == 0 {
+			return cpu.Instr{Kind: cpu.InstrStore, Addr: addr, Data: payload}, true
+		}
+		return cpu.Instr{Kind: cpu.InstrLoad, Addr: addr}, true
+	})
+}
+
+func benchTxPath(b *testing.B, noPooling bool) {
+	s := New(txCfg(noPooling))
+	th := txThread(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTransactionPath(b *testing.B)         { benchTxPath(b, false) }
+func BenchmarkTransactionPathUnpooled(b *testing.B) { benchTxPath(b, true) }
+
+// countTxAllocs runs n transaction-path ops on a fresh pooled system and
+// returns the process-wide heap allocation count of the run.
+func countTxAllocs(t *testing.T, n int) uint64 {
+	t.Helper()
+	s := New(txCfg(false))
+	th := txThread(n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := s.Run([]cpu.Thread{th}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestTransactionPathSteadyStateAllocFree pins the pooled request path at
+// zero steady-state allocations per op. A single run mixes one-time
+// warm-up allocations (DRAM pages, map growth, wheel buckets) with the
+// per-op cost, so the pin differences two run lengths: the warm-up
+// cancels and what remains is the marginal allocations of 8000 extra ops.
+func TestTransactionPathSteadyStateAllocFree(t *testing.T) {
+	short := countTxAllocs(t, 2_000)
+	long := countTxAllocs(t, 10_000)
+	perOp := float64(long) - float64(short)
+	if perOp < 0 {
+		perOp = 0
+	}
+	perOp /= 8_000
+	if perOp > 0.01 {
+		t.Errorf("steady-state transaction path allocates %.4f allocs/op, want 0", perOp)
+	}
+}
