@@ -62,7 +62,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	gate := fs.String("gate", "", "comma-separated benchmark names the -min-speedup gate applies to (default: every pair)")
 	maxAllocRatio := fs.Float64("max-alloc-ratio", 0, "fail (exit 1) when a gated Foo/FooUnpooled allocs/op ratio exceeds this (0 = report only); 0.5 requires pooling to remove half the allocations")
 	allocGate := fs.String("alloc-gate", "", "comma-separated benchmark names the -max-alloc-ratio gate applies to (default: every Unpooled pair)")
+	minMetric := fs.String("min-metric", "", "comma-separated Name:metric=value gates; fail (exit 1) when the named benchmark's metric is below value or missing (e.g. ServeWarm:hit-rate=0.99)")
+	maxMetric := fs.String("max-metric", "", "comma-separated Name:metric=value gates; fail (exit 1) when the named benchmark's metric is above value or missing (e.g. ServeWarm:p99-ns=1e9)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	minGates, err := parseMetricGates(*minMetric)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: -min-metric: %v\n", err)
+		return 2
+	}
+	maxGates, err := parseMetricGates(*maxMetric)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: -max-metric: %v\n", err)
 		return 2
 	}
 
@@ -118,10 +130,92 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	if len(minGates)+len(maxGates) > 0 {
+		byName := map[string]Benchmark{}
+		for _, b := range benches {
+			byName[b.Name] = b
+		}
+		checkGate := func(g metricGate, min bool) {
+			rel, bound := "above", "max"
+			if min {
+				rel, bound = "below", "min"
+			}
+			b, ok := byName[g.bench]
+			if !ok {
+				fmt.Fprintf(stderr, "benchjson: %s-metric gate: benchmark %s not found in input\n", bound, g.bench)
+				fail = true
+				return
+			}
+			v, ok := metricValue(b, g.metric)
+			if !ok {
+				fmt.Fprintf(stderr, "benchjson: %s-metric gate: %s has no %s metric\n", bound, g.bench, g.metric)
+				fail = true
+				return
+			}
+			if (min && v < g.value) || (!min && v > g.value) {
+				fmt.Fprintf(stderr, "benchjson: %s %s %g %s the %g gate\n", g.bench, g.metric, v, rel, g.value)
+				fail = true
+				return
+			}
+			fmt.Fprintf(stderr, "benchjson: %s %s %g (%s gate %g)\n", g.bench, g.metric, v, bound, g.value)
+		}
+		for _, g := range minGates {
+			checkGate(g, true)
+		}
+		for _, g := range maxGates {
+			checkGate(g, false)
+		}
+	}
 	if fail {
 		return 1
 	}
 	return 0
+}
+
+// metricGate is one -min-metric/-max-metric bound: a threshold on a
+// named benchmark's named metric.
+type metricGate struct {
+	bench, metric string
+	value         float64
+}
+
+// parseMetricGates parses comma-separated Name:metric=value specs.
+func parseMetricGates(s string) ([]metricGate, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []metricGate
+	for _, part := range strings.Split(s, ",") {
+		bench, rest, ok := strings.Cut(part, ":")
+		if !ok || bench == "" {
+			return nil, fmt.Errorf("%q is not Name:metric=value", part)
+		}
+		metric, val, ok := strings.Cut(rest, "=")
+		if !ok || metric == "" {
+			return nil, fmt.Errorf("%q is not Name:metric=value", part)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: bad value %q", part, val)
+		}
+		out = append(out, metricGate{bench: bench, metric: metric, value: v})
+	}
+	return out, nil
+}
+
+// metricValue reads one metric off a benchmark record; the three
+// first-class columns are addressable by their go-bench unit names.
+func metricValue(b Benchmark, metric string) (float64, bool) {
+	switch metric {
+	case "ns/op":
+		return b.NsPerOp, b.NsPerOp > 0
+	case "allocs/op":
+		return b.AllocsPerOp, true
+	case "B/op":
+		return b.BytesPerOp, true
+	}
+	v, ok := b.Metrics[metric]
+	return v, ok
 }
 
 // parseBench extracts benchmark result lines: name, iteration count,

@@ -176,3 +176,62 @@ func TestEmptyInputFails(t *testing.T) {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 }
+
+// Serve-latency style input: custom metrics only, gated by value bounds
+// instead of baseline pairs.
+const servedCanned = `BenchmarkServeWarm 200 812345 ns/op 1.0000 hit-rate 700000 p50-ns 2500000 p99-ns
+BenchmarkServeMixed 100 42812345 ns/op 0.8000 hit-rate 900000 p50-ns 98000000 p99-ns
+PASS
+`
+
+func runServed(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(servedCanned), &stdout, &stderr)
+	return stderr.String(), code
+}
+
+func TestMetricGatesPass(t *testing.T) {
+	stderr, code := runServed(t,
+		"-min-metric", "ServeWarm:hit-rate=0.99,ServeMixed:hit-rate=0.5",
+		"-max-metric", "ServeWarm:p99-ns=1e9")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "ServeWarm hit-rate 1 (min gate 0.99)") {
+		t.Fatalf("missing pass line:\n%s", stderr)
+	}
+}
+
+func TestMetricGatesFail(t *testing.T) {
+	if stderr, code := runServed(t, "-min-metric", "ServeMixed:hit-rate=0.99"); code != 1 ||
+		!strings.Contains(stderr, "hit-rate 0.8 below the 0.99 gate") {
+		t.Fatalf("min gate: exit %d, stderr:\n%s", code, stderr)
+	}
+	if stderr, code := runServed(t, "-max-metric", "ServeMixed:p99-ns=1e6"); code != 1 ||
+		!strings.Contains(stderr, "p99-ns 9.8e+07 above the 1e+06 gate") {
+		t.Fatalf("max gate: exit %d, stderr:\n%s", code, stderr)
+	}
+	// First-class columns are addressable by their go-bench unit names.
+	if stderr, code := runServed(t, "-max-metric", "ServeWarm:ns/op=1000"); code != 1 ||
+		!strings.Contains(stderr, "ServeWarm ns/op") {
+		t.Fatalf("ns/op gate: exit %d, stderr:\n%s", code, stderr)
+	}
+	// Missing benchmark or metric fails instead of silently passing.
+	if stderr, code := runServed(t, "-min-metric", "Nope:hit-rate=0.5"); code != 1 ||
+		!strings.Contains(stderr, "benchmark Nope not found") {
+		t.Fatalf("missing benchmark: exit %d, stderr:\n%s", code, stderr)
+	}
+	if stderr, code := runServed(t, "-min-metric", "ServeWarm:zz=0.5"); code != 1 ||
+		!strings.Contains(stderr, "has no zz metric") {
+		t.Fatalf("missing metric: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+func TestMetricGateBadSpec(t *testing.T) {
+	for _, bad := range []string{"NoColon=1", "Name:metric", "Name:metric=x", ":m=1", "Name:=1"} {
+		if _, code := runServed(t, "-min-metric", bad); code != 2 {
+			t.Fatalf("spec %q: exit %d, want 2", bad, code)
+		}
+	}
+}

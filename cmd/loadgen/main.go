@@ -1,0 +1,275 @@
+// Command loadgen hammers a pimbench serve daemon with a configurable
+// cache hit/miss mix and reports request latency in `go test -bench`
+// format, so benchjson can turn a load test into the gated
+// BENCH_serve_latency.json artifact.
+//
+// Every request submits the same experiment × scale shape. By default
+// all requests reuse one seed — after the first settles, the rest are
+// pure cache hits, measuring the daemon's serving overhead. With
+// -miss-every N, every Nth request substitutes a fresh unique seed, a
+// guaranteed cold plan that must execute on the worker fleet, so the
+// mix probes the in-flight dedup and execution path under load.
+//
+//	loadgen -url http://127.0.0.1:8080 -exp fig3 -scale smoke \
+//	        -requests 200 -clients 8 -name ServeWarm | benchjson \
+//	        -min-metric ServeWarm:hit-rate=0.99
+//
+// The bench line carries mean ns/op plus hit-rate (fraction of
+// requests settled fully from cache in the submit response), p50-ns
+// and p99-ns custom metrics.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type config struct {
+	url, exp, scale, overrides, name string
+
+	seed      uint64
+	requests  int
+	clients   int
+	missEvery int
+	poll      time.Duration
+	timeout   time.Duration
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.url, "url", "", "base URL of the serve daemon (required), e.g. http://127.0.0.1:8080")
+	fs.StringVar(&cfg.exp, "exp", "fig3", "experiment submitted by every request")
+	fs.StringVar(&cfg.scale, "scale", "smoke", "measurement scale submitted by every request")
+	fs.StringVar(&cfg.overrides, "overrides", "", "config-override JSON object attached to every request")
+	fs.StringVar(&cfg.name, "name", "Serve", "benchmark name for the output line (Benchmark<name>)")
+	fs.Uint64Var(&cfg.seed, "seed", 0, "workload seed shared by the hit-side requests")
+	fs.IntVar(&cfg.requests, "requests", 100, "total requests to issue")
+	fs.IntVar(&cfg.clients, "clients", 4, "concurrent client goroutines")
+	fs.IntVar(&cfg.missEvery, "miss-every", 0, "force a cache miss every Nth request via a fresh unique seed (0 = all requests share one seed)")
+	fs.DurationVar(&cfg.poll, "poll", 25*time.Millisecond, "poll interval for pending jobs")
+	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Minute, "per-request settle deadline")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if cfg.url == "" {
+		fmt.Fprintln(stderr, "loadgen: -url is required")
+		return 2
+	}
+	if cfg.requests <= 0 || cfg.clients <= 0 {
+		fmt.Fprintln(stderr, "loadgen: -requests and -clients must be positive")
+		return 2
+	}
+	cfg.url = strings.TrimSuffix(cfg.url, "/")
+
+	res, err := hammer(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, res.benchLine(cfg.name))
+	fmt.Fprintf(stderr, "loadgen: %d requests (%d clients): %.1f%% hit rate, p50 %s, p99 %s\n",
+		res.n, cfg.clients, 100*res.hitRate(), res.percentile(50), res.percentile(99))
+	return 0
+}
+
+// jobStatus is the slice of the API's job document loadgen reads.
+type jobStatus struct {
+	ID     string            `json:"id"`
+	Status string            `json:"status"`
+	Points int               `json:"points"`
+	Cached int               `json:"cached"`
+	Errors map[string]string `json:"errors"`
+}
+
+// result aggregates the run. latencies holds one settle time per
+// request, sorted ascending after the run.
+type result struct {
+	n         int
+	hits      int
+	latencies []time.Duration
+}
+
+func (r *result) hitRate() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return float64(r.hits) / float64(r.n)
+}
+
+// percentile returns the p-th latency percentile (nearest-rank on the
+// sorted sample).
+func (r *result) percentile(p int) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	return r.latencies[(len(r.latencies)-1)*p/100]
+}
+
+// benchLine renders the run as one `go test -bench` result line:
+// iterations, mean ns/op, then (value, unit) custom-metric pairs —
+// exactly the shape benchjson parses.
+func (r *result) benchLine(name string) string {
+	var mean time.Duration
+	if r.n > 0 {
+		var sum time.Duration
+		for _, d := range r.latencies {
+			sum += d
+		}
+		mean = sum / time.Duration(r.n)
+	}
+	return fmt.Sprintf("Benchmark%s %d %d ns/op %.4f hit-rate %d p50-ns %d p99-ns",
+		name, r.n, mean.Nanoseconds(), r.hitRate(),
+		r.percentile(50).Nanoseconds(), r.percentile(99).Nanoseconds())
+}
+
+// hammer issues cfg.requests requests across cfg.clients goroutines
+// and collects per-request settle latency. The first request error
+// aborts the run: a load test against a broken daemon has no valid
+// latency to report.
+func hammer(cfg config) (*result, error) {
+	client := &http.Client{Timeout: cfg.timeout}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		res      = &result{}
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.requests {
+					return
+				}
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					return
+				}
+				lat, hit, err := oneRequest(client, cfg, i)
+				if err != nil {
+					fail(fmt.Errorf("request %d: %w", i, err))
+					return
+				}
+				mu.Lock()
+				res.n++
+				res.latencies = append(res.latencies, lat)
+				if hit {
+					res.hits++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(res.latencies, func(a, b int) bool { return res.latencies[a] < res.latencies[b] })
+	return res, nil
+}
+
+// oneRequest submits request i and waits for it to settle, returning
+// the submit-to-settled latency and whether it was a pure cache hit
+// (settled done in the submit response with every point cached).
+func oneRequest(client *http.Client, cfg config, i int) (time.Duration, bool, error) {
+	seed := cfg.seed
+	if cfg.missEvery > 0 && (i+1)%cfg.missEvery == 0 {
+		// A unique fresh seed shifts every fingerprint of the plan: a
+		// guaranteed miss that has to execute on the fleet. Offset far
+		// from the shared seed so the two ranges never collide.
+		seed = cfg.seed + 1<<32 + uint64(i)
+	}
+	body := map[string]any{"experiment": cfg.exp, "scale": cfg.scale}
+	if seed != 0 {
+		body["seed"] = seed
+	}
+	if cfg.overrides != "" {
+		body["overrides"] = json.RawMessage(cfg.overrides)
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, false, err
+	}
+
+	start := time.Now()
+	st, err := postJSON(client, cfg.url+"/v1/jobs", string(payload))
+	if err != nil {
+		return 0, false, err
+	}
+	hit := st.Status == "done" && st.Points > 0 && st.Cached == st.Points
+	deadline := start.Add(cfg.timeout)
+	for st.Status == "pending" {
+		if time.Now().After(deadline) {
+			return 0, false, fmt.Errorf("job %s still pending after %s", st.ID, cfg.timeout)
+		}
+		time.Sleep(cfg.poll)
+		st, err = getJSON(client, cfg.url+"/v1/jobs/"+st.ID)
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	if st.Status != "done" {
+		return 0, false, fmt.Errorf("job %s settled %q: %v", st.ID, st.Status, st.Errors)
+	}
+	return time.Since(start), hit, nil
+}
+
+func postJSON(client *http.Client, url, body string) (jobStatus, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return jobStatus{}, err
+	}
+	return decodeStatus(resp)
+}
+
+func getJSON(client *http.Client, url string) (jobStatus, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	return decodeStatus(resp)
+}
+
+func decodeStatus(resp *http.Response) (jobStatus, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return jobStatus{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, fmt.Errorf("bad job document: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeDaemon emulates the serve API's submit/poll surface: requests
+// with the base seed settle cached in the submit response; fresh-seed
+// (miss) requests go pending and settle done after one poll.
+type fakeDaemon struct {
+	mu       sync.Mutex
+	submits  int
+	misses   int
+	polls    map[string]int
+	baseSeed uint64
+}
+
+func newFakeDaemon(baseSeed uint64) *fakeDaemon {
+	return &fakeDaemon{polls: map[string]int{}, baseSeed: baseSeed}
+}
+
+func (d *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Experiment string `json:"experiment"`
+			Scale      string `json:"scale"`
+			Seed       uint64 `json:"seed"`
+			Overrides  any    `json:"overrides"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Experiment == "" || req.Scale == "" {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		d.mu.Lock()
+		d.submits++
+		hit := req.Seed == d.baseSeed || req.Seed == 0
+		var id string
+		if !hit {
+			d.misses++
+			id = fmt.Sprintf("j%d", d.submits)
+			d.polls[id] = 0
+		}
+		d.mu.Unlock()
+		if hit {
+			json.NewEncoder(w).Encode(map[string]any{
+				"id": "jh", "status": "done", "points": 3, "cached": 3})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": id, "status": "pending", "points": 3, "cached": 1})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		d.mu.Lock()
+		n, ok := d.polls[id]
+		if ok {
+			d.polls[id] = n + 1
+		}
+		d.mu.Unlock()
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		if n == 0 { // still pending on the first poll
+			json.NewEncoder(w).Encode(map[string]any{
+				"id": id, "status": "pending", "points": 3, "cached": 1})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": id, "status": "done", "points": 3, "cached": 1})
+	})
+	return mux
+}
+
+func TestLoadgenWarmAndMixed(t *testing.T) {
+	daemon := newFakeDaemon(0)
+	ts := httptest.NewServer(daemon.handler())
+	defer ts.Close()
+
+	// Warm run: every request hits.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-exp", "fig3", "-scale", "smoke",
+		"-requests", "20", "-clients", "4", "-name", "ServeWarm"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	line := strings.TrimSpace(stdout.String())
+	if !strings.HasPrefix(line, "BenchmarkServeWarm 20 ") {
+		t.Fatalf("bench line: %q", line)
+	}
+	for _, unit := range []string{"ns/op", "hit-rate", "p50-ns", "p99-ns"} {
+		if !strings.Contains(line, " "+unit) {
+			t.Fatalf("bench line missing %s: %q", unit, line)
+		}
+	}
+	if !strings.Contains(line, " 1.0000 hit-rate") {
+		t.Fatalf("warm run not 100%% hits: %q", line)
+	}
+
+	// Mixed run: every 4th request carries a fresh seed, goes pending,
+	// and needs polling — 25% misses exactly.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-url", ts.URL, "-exp", "fig3", "-scale", "smoke",
+		"-requests", "20", "-clients", "4", "-miss-every", "4",
+		"-poll", "1ms", "-name", "ServeMixed"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	line = strings.TrimSpace(stdout.String())
+	if !strings.Contains(line, " 0.7500 hit-rate") {
+		t.Fatalf("mixed run hit rate: %q", line)
+	}
+	daemon.mu.Lock()
+	misses := daemon.misses
+	daemon.mu.Unlock()
+	if misses != 5 {
+		t.Fatalf("daemon saw %d misses, want 5", misses)
+	}
+}
+
+func TestLoadgenFailurePaths(t *testing.T) {
+	// Usage errors.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-requests", "5"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -url: exit %d, want 2", code)
+	}
+	if code := run([]string{"-url", "http://x", "-requests", "0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("zero requests: exit %d, want 2", code)
+	}
+
+	// A daemon rejecting the request (HTTP 400) fails the run with its
+	// error text.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "unknown experiment", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	stderr.Reset()
+	if code := run([]string{"-url", ts.URL, "-requests", "3", "-clients", "2"},
+		&stdout, &stderr); code != 1 {
+		t.Fatalf("rejecting daemon: exit %d, want 1\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("error text not surfaced:\n%s", stderr.String())
+	}
+
+	// A job that never settles trips the per-request deadline.
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"id": "j1", "status": "pending", "points": 1})
+	}))
+	defer ts2.Close()
+	stderr.Reset()
+	if code := run([]string{"-url", ts2.URL, "-requests", "1", "-clients", "1",
+		"-poll", "1ms", "-timeout", "50ms"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("stuck job: exit %d, want 1\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "still pending") {
+		t.Fatalf("deadline not reported:\n%s", stderr.String())
+	}
+}
+
+func TestPercentilesAndBenchLine(t *testing.T) {
+	r := &result{n: 100}
+	for i := 1; i <= 100; i++ {
+		r.latencies = append(r.latencies, time.Duration(i)*time.Millisecond)
+	}
+	r.hits = 99
+	if got := r.percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %s", got)
+	}
+	if got := r.percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %s", got)
+	}
+	line := r.benchLine("X")
+	want := fmt.Sprintf("BenchmarkX 100 %d ns/op 0.9900 hit-rate %d p50-ns %d p99-ns",
+		(50500 * time.Microsecond).Nanoseconds(),
+		(50 * time.Millisecond).Nanoseconds(),
+		(99 * time.Millisecond).Nanoseconds())
+	if line != want {
+		t.Fatalf("bench line:\n got %q\nwant %q", line, want)
+	}
+}

@@ -7,7 +7,8 @@
 //	pimbench plan [flags]       print the deterministic job manifest
 //	pimbench merge -o DIR SRC...  merge collected result caches
 //	pimbench coord [flags]      dispatch jobs to a fault-tolerant worker fleet
-//	pimbench work [flags]       worker protocol endpoint (spawned by coord)
+//	pimbench serve [flags]      HTTP daemon: cached results instantly, misses on a live fleet
+//	pimbench work [flags]       worker protocol endpoint (spawned by coord and serve)
 //	pimbench snapshot [flags]   inspect / garbage-collect workload snapshots
 //	pimbench version [-v]       print build identity (module, Go, VCS revision)
 //
@@ -48,6 +49,15 @@
 // lives), and a mid-run kill of the coordinator loses at most the
 // in-flight jobs — re-running resumes from the cache.
 //
+// The serve daemon is the coordinator promoted to an always-on service:
+// an HTTP/JSON API over the same cache and a persistent worker fleet.
+// Cached requests answer instantly; misses are planned, deduplicated
+// against all in-flight work fleet-wide, executed once, and written
+// back (see README "Serving"):
+//
+//	pimbench serve -addr :8080 -cache-dir d -snapshot-dir s -workers 4
+//	curl -d '{"experiment":"fig7","scale":"smoke"}' localhost:8080/v1/jobs
+//
 // Scales: smoke (CI, seconds), quick (minutes), medium (tens of
 // minutes), full (the paper's measurement volume; hours sequentially —
 // every grid point is an independent simulation, so -parallel N divides
@@ -71,13 +81,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"bulkpim"
@@ -102,6 +115,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return mergeCmd(args[1:], stdout, stderr)
 		case "coord":
 			return coordCmd(args[1:], stdout, stderr)
+		case "serve":
+			return serveCmd(args[1:], stdout, stderr)
 		case "work":
 			return workCmd(args[1:], stdin, stdout, stderr)
 		case "snapshot":
@@ -109,7 +124,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		case "version":
 			return versionCmd(args[1:], stdout, stderr)
 		default:
-			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge, coord, work, snapshot, version)\n", args[0])
+			fmt.Fprintf(stderr, "pimbench: unknown subcommand %q (have run, plan, merge, coord, serve, work, snapshot, version)\n", args[0])
 			return 2
 		}
 	}
@@ -437,15 +452,107 @@ func coordCmd(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// workCmd is the hidden worker endpoint `pimbench coord` spawns: it
-// speaks the line-delimited JSON protocol on stdin/stdout (stdout
-// carries nothing else) and logs on stderr.
+// serveCmd runs the always-on daemon: an HTTP/JSON API in front of the
+// result cache and a persistent elastic worker fleet. SIGINT/SIGTERM
+// shut it down gracefully (in-flight jobs finish, queued ones fail).
+func serveCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	cacheDir := fs.String("cache-dir", "", "result cache directory the daemon serves from and writes back into (required)")
+	snapDir := fs.String("snapshot-dir", "", "workload snapshot store shared with the worker fleet")
+	workers := fs.Int("workers", 0, "initial worker fleet size and auto-replace target (0 = 2)")
+	workerCmd := fs.String("worker-cmd", "", "worker launch template; {args} expands to the work-subcommand arguments (default: re-execute this binary)")
+	local := fs.Bool("local", false, "execute in-process instead of spawning worker subprocesses")
+	verbose := fs.Bool("v", false, "log requests, fleet events and forward worker stderr")
+	failWorker := fs.Int("fail-worker", 0, "crash-injection test hook: which initial worker gets -fail-after")
+	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: kill that worker after N served jobs")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *cacheDir == "" {
+		fmt.Fprintln(stderr, "pimbench: serve needs -cache-dir: the daemon is a results CDN over a shared result cache")
+		return 2
+	}
+	fmt.Fprintf(stderr, "pimbench: build: %s\n", buildLine())
+
+	var opts bulkpim.Options
+	if *verbose {
+		opts.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	cache, err := bulkpim.OpenResultCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+	defer cache.Close()
+	opts.Cache = cache
+	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+
+	sopts := bulkpim.ServerOptions{
+		Addr:       *addr,
+		Workers:    *workers,
+		WorkerCmd:  *workerCmd,
+		Local:      *local,
+		FailWorker: *failWorker,
+		FailAfter:  *failAfter,
+	}
+	if *verbose {
+		sopts.WorkerStderr = stderr
+	}
+	srv, err := bulkpim.NewServer(opts, sopts)
+	if err != nil {
+		fmt.Fprintf(stderr, "pimbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "pimbench: serving on %s (%d cached points, %s)\n",
+		srv.Addr(), cache.Len(), cache.Path())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "pimbench: %v: shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "pimbench: shutdown: %v\n", err)
+		}
+	}()
+
+	serveErr := srv.Serve()
+	fmt.Fprintf(stderr, "pimbench: cache: %s (%s)\n", cache.Stats(), cache.Path())
+	snapFooter()
+	if serveErr != nil {
+		fmt.Fprintf(stderr, "pimbench: serve: %v\n", serveErr)
+		return 1
+	}
+	return 0
+}
+
+// workCmd is the hidden worker endpoint `pimbench coord` and `pimbench
+// serve` spawn: it speaks the line-delimited JSON protocol on
+// stdin/stdout (stdout carries nothing else) and logs on stderr.
 func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pimbench work", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment to serve")
 	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
 	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	dynamic := fs.Bool("dynamic", false, "serve-fleet mode: plan per job spec instead of per startup flags (-exp/-scale/-seed are ignored)")
 	snapDir := fs.String("snapshot-dir", "", "workload snapshot store shared with the coordinator and sibling workers")
 	verbose := fs.Bool("v", false, "log served jobs on stderr")
 	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: exit 3 when job N+1 arrives")
@@ -484,8 +591,14 @@ func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer snapFooter()
-	if err := bulkpim.ServeWork(*exp, opts, stdin, stdout, *failAfter); err != nil {
-		fmt.Fprintf(stderr, "pimbench: work: %v\n", err)
+	var workErr error
+	if *dynamic {
+		workErr = bulkpim.ServeDynamicWork(opts, stdin, stdout, *failAfter)
+	} else {
+		workErr = bulkpim.ServeWork(*exp, opts, stdin, stdout, *failAfter)
+	}
+	if workErr != nil {
+		fmt.Fprintf(stderr, "pimbench: work: %v\n", workErr)
 		return 1
 	}
 	return 0

@@ -159,6 +159,7 @@ func workFlagSet() (*flag.FlagSet, map[string]*string) {
 		"snapshot-dir": fs.String("snapshot-dir", "", ""),
 	}
 	fs.Bool("v", false, "")
+	fs.Bool("dynamic", false, "")
 	fs.Int("fail-after", 0, "")
 	return fs, got
 }
@@ -209,6 +210,40 @@ func TestCoordWorkArgsRoundTrip(t *testing.T) {
 	}
 	if *got["exp"] != "all" || *got["scale"] != "smoke" || *got["seed"] != "0" {
 		t.Fatalf("defaults did not round-trip: %v", args)
+	}
+}
+
+// TestServeWorkArgsRoundTrip: a serve daemon's dynamic-worker argv must
+// also round-trip through the work flag set — the same skew guard as
+// the coordinator's, for the fleet that plans per job spec.
+func TestServeWorkArgsRoundTrip(t *testing.T) {
+	snap, err := OpenSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := serveWorkArgs(Options{Snapshots: snap})
+	if len(args) == 0 || args[0] != "work" {
+		t.Fatalf("argv must start with the work subcommand: %v", args)
+	}
+	fs, got := workFlagSet()
+	if err := fs.Parse(args[1:]); err != nil {
+		t.Fatalf("work flag set rejects serve argv %v: %v", args, err)
+	}
+	if fs.NArg() != 0 {
+		t.Fatalf("argv %v leaves unparsed operands %v — a flag was dropped or misspelled", args, fs.Args())
+	}
+	if fs.Lookup("dynamic").Value.String() != "true" {
+		t.Fatalf("serve argv %v did not set -dynamic: static workers cannot join a serve fleet", args)
+	}
+	if *got["snapshot-dir"] != snap.Dir() {
+		t.Errorf("-snapshot-dir = %q, want %q", *got["snapshot-dir"], snap.Dir())
+	}
+
+	// Store-less daemons omit the flag, like store-less coordinators.
+	for _, a := range serveWorkArgs(Options{}) {
+		if a == "-snapshot-dir" {
+			t.Fatalf("store-less serve argv emitted -snapshot-dir: %v", serveWorkArgs(Options{}))
+		}
 	}
 }
 

@@ -108,3 +108,49 @@ func TestGoldenCoversEveryStandaloneExperiment(t *testing.T) {
 		}
 	}
 }
+
+// goldenExemptions lists registry experiments deliberately shipped
+// without a per-experiment golden, each with the reason. Empty today:
+// every spec renders standalone. An entry here is reviewed like code —
+// TestGoldenPerExperimentCoverage refuses both silent gaps and stale
+// exemptions.
+var goldenExemptions = map[string]string{}
+
+// TestGoldenReportEachExperiment pins every registry experiment's
+// standalone smoke report under testdata/<name>_smoke.golden. The
+// all_smoke golden pins the suite as one document; these pin each
+// report in isolation, so a regression localized to one experiment
+// names itself in the failure.
+func TestGoldenReportEachExperiment(t *testing.T) {
+	for _, name := range StandaloneExperiments() {
+		if reason, ok := goldenExemptions[name]; ok {
+			t.Logf("%s exempt from per-experiment golden: %s", name, reason)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			checkGolden(t, name+"_smoke.golden", goldenReport(t, name))
+		})
+	}
+}
+
+// TestGoldenPerExperimentCoverage: every registry experiment has
+// either a committed per-experiment golden or an explicit exemption —
+// and never both, so an exemption cannot linger after the golden
+// lands. A new spec added to the registry fails here until its golden
+// is generated (go test -run TestGolden -update) or its absence is
+// justified in goldenExemptions.
+func TestGoldenPerExperimentCoverage(t *testing.T) {
+	for _, name := range StandaloneExperiments() {
+		path := filepath.Join("testdata", name+"_smoke.golden")
+		_, err := os.Stat(path)
+		_, exempt := goldenExemptions[name]
+		switch {
+		case err == nil && exempt:
+			t.Errorf("%s has both a golden and an exemption — drop the goldenExemptions entry", name)
+		case os.IsNotExist(err) && !exempt:
+			t.Errorf("%s has neither %s nor a goldenExemptions entry (generate with `go test -run TestGolden -update`)", name, path)
+		case err != nil && !os.IsNotExist(err):
+			t.Fatal(err)
+		}
+	}
+}

@@ -15,10 +15,13 @@ import (
 // Task is one distinct unit of work: a planned suite's fingerprint
 // group, represented by its canonical key. The caller guarantees
 // fingerprints are unique across the task list (they content-address
-// the simulations).
+// the simulations). Spec, when non-nil, makes the task dynamic: it
+// rides to the worker so a spec-capable fleet (pimbench serve) can
+// plan for it on demand.
 type Task struct {
 	Key         string
 	Fingerprint string
+	Spec        *JobSpec
 }
 
 // JobError is a job-level failure reported by a healthy worker: the

@@ -1,0 +1,392 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Pool is the persistent, elastic counterpart of Run: where Run
+// dispatches one fixed task list to a fleet and returns, a Pool
+// outlives any batch — tasks are submitted one at a time as they
+// arrive (a serving daemon's cache misses), workers join and leave the
+// live pool, and every settled task is delivered through its own
+// callback. The fault model is Run's: a job-level error (*JobError)
+// retries the task on other workers with the reporting worker
+// excluded; any other error loses the worker, requeues its task and
+// removes it from the fleet.
+//
+// Two mechanisms bound failure handling. Each task carries a dispatch
+// budget (MaxAttempts): when crashed or erroring workers have consumed
+// it, the task settles as permanently failed instead of bouncing
+// around the fleet forever. Each worker carries an adaptive backoff:
+// consecutive job errors on one worker — the signature of a flaky
+// remote host rather than a bad job — put it to sleep for
+// BaseBackoff·2^(streak-1), capped at MaxBackoff, so healthy workers
+// absorb the load while the flaky one cools off; one success resets
+// its streak.
+//
+// A task that every current worker is excluded from settles as failed
+// only while the fleet is non-empty; with no workers at all it stays
+// queued, waiting for a join (the elastic case: a daemon replacing a
+// lost worker). Close fails everything still queued.
+type Pool struct {
+	o PoolOptions
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*poolTask
+	workers map[int]*poolWorker
+	nextID  int
+	closed  bool
+	lost    int
+	retried int
+	wg      sync.WaitGroup
+}
+
+// PoolOptions configures a worker pool.
+type PoolOptions struct {
+	// Launch starts worker id; it is invoked by AddWorker, outside the
+	// pool lock (subprocess startup is slow).
+	Launch func(id int) (Worker, error)
+	// MaxAttempts is the per-task dispatch budget; <= 0 means 3.
+	MaxAttempts int
+	// BaseBackoff is a worker's sleep after its first consecutive job
+	// error, doubling per additional error up to MaxBackoff. Zero values
+	// default to 100ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OnWorkerLost, when non-nil, observes each worker death (launch
+	// failures are reported by AddWorker instead). It is called outside
+	// the pool lock, so it may call AddWorker to replace the loss.
+	OnWorkerLost func(id int, err error)
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+func (o PoolOptions) log(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+func (o PoolOptions) maxAttempts() int {
+	if o.MaxAttempts > 0 {
+		return o.MaxAttempts
+	}
+	return 3
+}
+
+func (o PoolOptions) backoff(streak int) time.Duration {
+	base, max := o.BaseBackoff, o.MaxBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < streak && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// poolTask is one queued-or-running submission.
+type poolTask struct {
+	t        Task
+	excluded map[int]bool
+	attempts int
+	lastErr  error
+	done     func(Outcome)
+}
+
+// poolWorker is one fleet member's live state and counters.
+type poolWorker struct {
+	id      int
+	w       Worker
+	state   string // "idle", "busy", "backoff", "leaving"
+	leaving bool
+	done    int
+	failed  int
+	streak  int
+	busy    time.Duration
+}
+
+// WorkerStats is one worker's health/latency/throughput snapshot.
+type WorkerStats struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	// Done counts tasks this worker settled successfully; Failed the
+	// job-level errors it reported; FailStreak its current consecutive
+	// failures (drives the backoff).
+	Done       int `json:"done"`
+	Failed     int `json:"failed"`
+	FailStreak int `json:"fail_streak,omitempty"`
+	// BusyNs is total wall time spent executing tasks; AvgNs is
+	// BusyNs / (Done + Failed) — the worker's mean task latency.
+	BusyNs int64 `json:"busy_ns"`
+	AvgNs  int64 `json:"avg_ns,omitempty"`
+}
+
+// PoolStats is the pool's aggregate snapshot.
+type PoolStats struct {
+	// Queued counts tasks waiting for a worker (not those executing);
+	// Lost the workers that died mid-run; Retried the re-dispatches
+	// after worker crashes or job errors.
+	Queued  int           `json:"queued"`
+	Lost    int           `json:"lost"`
+	Retried int           `json:"retried"`
+	Workers []WorkerStats `json:"workers"`
+}
+
+// NewPool builds an empty pool; add workers with AddWorker.
+func NewPool(o PoolOptions) *Pool {
+	if o.Launch == nil {
+		panic("coord.NewPool: nil Launch")
+	}
+	p := &Pool{o: o, workers: map[int]*poolWorker{}}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// AddWorker launches and registers one worker, returning its id. Ids
+// are never reused, so a task's exclusion set cannot leak onto a
+// replacement worker.
+func (p *Pool) AddWorker() (int, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return -1, errors.New("pool closed")
+	}
+	id := p.nextID
+	p.nextID++
+	p.mu.Unlock()
+
+	w, err := p.o.Launch(id)
+	if err != nil {
+		return -1, fmt.Errorf("worker %d: launch: %w", id, err)
+	}
+	pw := &poolWorker{id: id, w: w, state: "idle"}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		w.Close()
+		return -1, errors.New("pool closed")
+	}
+	p.workers[id] = pw
+	p.wg.Add(1)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	go p.loop(pw)
+	p.o.log("pool: worker %d joined", id)
+	return id, nil
+}
+
+// RemoveWorker marks worker id as leaving: it finishes its current
+// task (if any), is dismissed cleanly, and takes no further work.
+func (p *Pool) RemoveWorker(id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pw, ok := p.workers[id]
+	if !ok {
+		return fmt.Errorf("no worker %d", id)
+	}
+	pw.leaving = true
+	p.cond.Broadcast()
+	return nil
+}
+
+// Submit enqueues one task; done is invoked exactly once with its
+// outcome (success, or permanent failure after the retry budget or
+// fleet exclusion), never under the pool lock.
+func (p *Pool) Submit(t Task, done func(Outcome)) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("pool closed")
+	}
+	p.queue = append(p.queue, &poolTask{t: t, excluded: map[int]bool{}, done: done})
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// Stats snapshots the pool, workers sorted by id.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolStats{Queued: len(p.queue), Lost: p.lost, Retried: p.retried,
+		Workers: make([]WorkerStats, 0, len(p.workers))}
+	for _, pw := range p.workers {
+		ws := WorkerStats{ID: pw.id, State: pw.state, Done: pw.done, Failed: pw.failed,
+			FailStreak: pw.streak, BusyNs: pw.busy.Nanoseconds()}
+		if n := pw.done + pw.failed; n > 0 {
+			ws.AvgNs = ws.BusyNs / int64(n)
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].ID < s.Workers[j].ID })
+	return s
+}
+
+// Close fails every queued task, dismisses the fleet and waits for the
+// worker loops (and their subprocesses) to exit. In-flight tasks still
+// deliver their outcomes before Close returns.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	dropped := p.queue
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, t := range dropped {
+		t.done(Outcome{Task: t.t, Err: errors.New("pool closed"), Worker: -1, Attempts: t.attempts})
+	}
+	p.wg.Wait()
+}
+
+// take blocks until a task worker pw may run is available; nil means
+// the worker should exit (pool closed or worker leaving).
+func (p *Pool) take(pw *poolWorker) *poolTask {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed || pw.leaving {
+			pw.state = "leaving"
+			return nil
+		}
+		for i, t := range p.queue {
+			if !t.excluded[pw.id] {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				t.attempts++
+				if t.attempts > 1 {
+					p.retried++
+				}
+				pw.state = "busy"
+				return t
+			}
+		}
+		pw.state = "idle"
+		p.cond.Wait()
+	}
+}
+
+// requeueLocked puts t back for the rest of the fleet after worker
+// `worker` failed it — or settles it as permanently failed when its
+// retry budget is gone or every current worker (of a non-empty fleet)
+// is excluded. Callers hold mu; the returned task, when non-nil, must
+// have its done invoked after releasing it.
+func (p *Pool) requeueLocked(t *poolTask, worker int, err error) (failed *poolTask) {
+	t.excluded[worker] = true
+	t.lastErr = err
+	if t.attempts >= p.o.maxAttempts() {
+		return t
+	}
+	if len(p.workers) > 0 {
+		eligible := false
+		for id, pw := range p.workers {
+			if !t.excluded[id] && !pw.leaving {
+				eligible = true
+				break
+			}
+		}
+		if !eligible {
+			return t
+		}
+	}
+	// An empty fleet keeps the task queued: the pool is elastic, a
+	// replacement worker may join (OnWorkerLost typically adds one).
+	p.queue = append(p.queue, t)
+	p.cond.Broadcast()
+	return nil
+}
+
+// failOutcome renders a permanently failed task's outcome.
+func failOutcome(t *poolTask) Outcome {
+	err := t.lastErr
+	if err == nil {
+		err = errors.New("no live worker")
+	}
+	return Outcome{Task: t.t,
+		Err:    fmt.Errorf("failed after %d attempt(s): %w", t.attempts, err),
+		Worker: -1, Attempts: t.attempts}
+}
+
+// loop is one worker's lifetime: take, run, deliver, until dismissal
+// or death.
+func (p *Pool) loop(pw *poolWorker) {
+	defer p.wg.Done()
+	for {
+		t := p.take(pw)
+		if t == nil {
+			break
+		}
+		start := time.Now()
+		v, err := pw.w.Run(t.t)
+		el := time.Since(start)
+		var jerr *JobError
+		switch {
+		case err == nil:
+			p.mu.Lock()
+			pw.done++
+			pw.busy += el
+			pw.streak = 0
+			pw.state = "idle"
+			p.mu.Unlock()
+			t.done(Outcome{Task: t.t, Value: v, Worker: pw.id, Attempts: t.attempts})
+		case errors.As(err, &jerr):
+			p.mu.Lock()
+			pw.failed++
+			pw.busy += el
+			pw.streak++
+			d := p.o.backoff(pw.streak)
+			pw.state = "backoff"
+			failed := p.requeueLocked(t, pw.id, err)
+			p.mu.Unlock()
+			p.o.log("pool: worker %d: job %s failed (%v), backing off %s", pw.id, t.t.Key, err, d)
+			if failed != nil {
+				failed.done(failOutcome(failed))
+			}
+			// The backoff is the worker sleeping, not the task waiting:
+			// the requeued task is already available to the rest of the
+			// fleet while this worker cools off.
+			time.Sleep(d)
+			p.mu.Lock()
+			if pw.state == "backoff" {
+				pw.state = "idle"
+			}
+			p.mu.Unlock()
+		default:
+			p.mu.Lock()
+			delete(p.workers, pw.id)
+			p.lost++
+			failed := p.requeueLocked(t, pw.id, err)
+			p.mu.Unlock()
+			pw.w.Close()
+			p.o.log("pool: worker %d lost (%v), requeueing %s", pw.id, err, t.t.Key)
+			if failed != nil {
+				failed.done(failOutcome(failed))
+			}
+			if p.o.OnWorkerLost != nil {
+				p.o.OnWorkerLost(pw.id, err)
+			}
+			return
+		}
+	}
+	pw.w.Close()
+	p.mu.Lock()
+	delete(p.workers, pw.id)
+	p.mu.Unlock()
+	p.o.log("pool: worker %d left", pw.id)
+}

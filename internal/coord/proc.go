@@ -63,19 +63,19 @@ func StartProc(id int, argv []string, stderr io.Writer) (*ProcWorker, Hello, err
 // failure or protocol violation marks the worker broken and is
 // returned as a worker-lost error.
 func (w *ProcWorker) Run(t Task) (system.Result, error) {
-	if err := w.enc.Encode(request{Type: "job", Key: t.Key, Fingerprint: t.Fingerprint}); err != nil {
+	if err := w.enc.Encode(request{Type: "job", Key: t.Key, Fingerprint: t.Fingerprint, Spec: t.Spec}); err != nil {
 		w.broken = true
 		return system.Result{}, fmt.Errorf("worker %d: send: %w", w.id, err)
 	}
-	var resp response
-	if err := w.dec.Decode(&resp); err != nil {
+	resp, err := readResponse(w.dec)
+	if err != nil {
 		w.broken = true
 		return system.Result{}, fmt.Errorf("worker %d: recv: %w", w.id, err)
 	}
-	if resp.Type != "result" || resp.Fingerprint != t.Fingerprint {
+	if resp.Fingerprint != t.Fingerprint {
 		w.broken = true
-		return system.Result{}, fmt.Errorf("worker %d: protocol violation: %q frame for fingerprint %q, want result for %q",
-			w.id, resp.Type, resp.Fingerprint, t.Fingerprint)
+		return system.Result{}, fmt.Errorf("worker %d: protocol violation: result frame for fingerprint %q, want %q",
+			w.id, resp.Fingerprint, t.Fingerprint)
 	}
 	if resp.Error != "" {
 		return system.Result{}, &JobError{Msg: resp.Error}

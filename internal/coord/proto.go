@@ -22,9 +22,35 @@
 // system.Result JSON the result cache persists. The hello handshake
 // carries the worker's distinct-job count so a version- or flag-skewed
 // worker fails fast instead of computing wrong points.
+//
+// Dynamic mode (the `pimbench serve` fleet) extends the job frame with
+// a spec — {"type":"job","key":K,"fp":F,"spec":{"exp":E,...}} — so a
+// worker launched with no suite flags can plan on demand: it announces
+// distinct = DynamicDistinct in its hello and derives each job's plan
+// from the spec it rides in with.
 package coord
 
-import "bulkpim/internal/system"
+import (
+	"encoding/json"
+	"fmt"
+
+	"bulkpim/internal/system"
+)
+
+// DynamicDistinct is the hello distinct-count a dynamic-mode worker
+// announces: it plans per job spec, so it has no startup plan to skew.
+const DynamicDistinct = -1
+
+// JobSpec is a dynamic job's full identity: the request parameters a
+// serve-fleet worker needs to re-derive the plan a fingerprint belongs
+// to. Overrides carries the request's raw config-override JSON (empty
+// for none) so the worker reproduces the exact mutated Config.
+type JobSpec struct {
+	Exp       string `json:"exp"`
+	Scale     string `json:"scale"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Overrides string `json:"overrides,omitempty"`
+}
 
 // helloMsg is the worker's startup handshake.
 type helloMsg struct {
@@ -34,9 +60,40 @@ type helloMsg struct {
 
 // request is a coordinator-to-worker message.
 type request struct {
-	Type        string `json:"type"` // "job" or "bye"
-	Key         string `json:"key,omitempty"`
-	Fingerprint string `json:"fp,omitempty"`
+	Type        string   `json:"type"` // "job" or "bye"
+	Key         string   `json:"key,omitempty"`
+	Fingerprint string   `json:"fp,omitempty"`
+	Spec        *JobSpec `json:"spec,omitempty"`
+}
+
+// readRequest decodes and validates the next coordinator-to-worker
+// frame. io.EOF passes through untouched (it is the coordinator
+// hanging up, not a protocol error); any other decode failure or an
+// unknown frame type is an error.
+func readRequest(dec *json.Decoder) (request, error) {
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return req, err
+	}
+	switch req.Type {
+	case "job", "bye":
+		return req, nil
+	default:
+		return req, fmt.Errorf("unknown request type %q", req.Type)
+	}
+}
+
+// readResponse decodes and validates the next worker-to-coordinator
+// frame; anything but a well-formed result frame is an error.
+func readResponse(dec *json.Decoder) (response, error) {
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		return resp, err
+	}
+	if resp.Type != "result" {
+		return resp, fmt.Errorf("unknown response type %q", resp.Type)
+	}
+	return resp, nil
 }
 
 // response is a worker-to-coordinator job outcome. Error carries a

@@ -19,6 +19,11 @@ type ServeOptions struct {
 	// error becomes a job-level failure on the wire; the worker keeps
 	// serving.
 	Execute func(key, fingerprint string) (system.Result, error)
+	// ExecuteSpec handles dynamic jobs — frames carrying a JobSpec. A
+	// worker that leaves it nil reports such frames as job-level errors
+	// (it cannot plan for them); the serve fleet sets it and announces
+	// Distinct = DynamicDistinct.
+	ExecuteSpec func(spec JobSpec, key, fingerprint string) (system.Result, error)
 	// FailAfter > 0 is a crash-injection test hook: the worker serves
 	// exactly FailAfter jobs, then dies via Fail when the next job
 	// arrives — without replying, so that job is genuinely lost in
@@ -51,20 +56,16 @@ func Serve(in io.Reader, out io.Writer, o ServeOptions) error {
 	dec := json.NewDecoder(in)
 	served := 0
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req, err := readRequest(dec)
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("coord worker: read: %w", err)
 		}
-		switch req.Type {
-		case "bye":
+		if req.Type == "bye" {
 			o.log("worker: served %d jobs, bye", served)
 			return nil
-		case "job":
-		default:
-			return fmt.Errorf("coord worker: unknown request type %q", req.Type)
 		}
 		if o.FailAfter > 0 && served >= o.FailAfter {
 			o.log("worker: -fail-after %d reached, crashing", o.FailAfter)
@@ -77,7 +78,15 @@ func Serve(in io.Reader, out io.Writer, o ServeOptions) error {
 			os.Exit(3)
 		}
 		resp := response{Type: "result", Key: req.Key, Fingerprint: req.Fingerprint}
-		v, err := o.Execute(req.Key, req.Fingerprint)
+		var v system.Result
+		switch {
+		case req.Spec != nil && o.ExecuteSpec != nil:
+			v, err = o.ExecuteSpec(*req.Spec, req.Key, req.Fingerprint)
+		case req.Spec != nil:
+			err = errors.New("worker does not support dynamic jobs")
+		default:
+			v, err = o.Execute(req.Key, req.Fingerprint)
+		}
 		if err != nil {
 			resp.Error = err.Error()
 			o.log("worker: %s failed: %v", req.Key, err)

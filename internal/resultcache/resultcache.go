@@ -80,6 +80,7 @@ type Cache struct {
 	path    string
 	file    *os.File
 	entries map[string]system.Result // composite key -> result
+	byFP    map[string]system.Result // fingerprint -> result
 	stats   Stats
 }
 
@@ -96,6 +97,7 @@ func Open(dir string) (*Cache, error) {
 	c := &Cache{
 		path:    filepath.Join(dir, FileName),
 		entries: make(map[string]system.Result),
+		byFP:    make(map[string]system.Result),
 	}
 	if err := c.load(); err != nil {
 		return nil, err
@@ -137,6 +139,7 @@ func (c *Cache) load() error {
 			continue
 		}
 		c.entries[composite(e.Key, e.Fingerprint)] = e.Result
+		c.byFP[e.Fingerprint] = e.Result
 	}
 	if err := sc.Err(); err != nil {
 		// An unreadable tail (e.g. an over-long corrupt line) degrades
@@ -166,6 +169,23 @@ func (c *Cache) Lookup(key, fingerprint string) (system.Result, bool) {
 	return r, ok
 }
 
+// LookupFingerprint consults the cache by fingerprint alone — the
+// content address, without a grid-point key. Results are fully
+// determined by their fingerprint (that is the cache's premise), so
+// any key's entry answers; the serving API uses this for direct
+// GET /v1/results/{fingerprint} reads.
+func (c *Cache) LookupFingerprint(fingerprint string) (system.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.byFP[fingerprint]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return r, ok
+}
+
 // Store writes a finished result back: into the index and appended to
 // the JSON-lines file. Failures (unmarshalable results, I/O errors)
 // are counted in Stats and returned, but callers may ignore them — a
@@ -187,6 +207,7 @@ func (c *Cache) Store(key, fingerprint string, r system.Result) error {
 		}
 	}
 	c.entries[composite(key, fingerprint)] = r
+	c.byFP[fingerprint] = r
 	c.stats.Stores++
 	return nil
 }

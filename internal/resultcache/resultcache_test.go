@@ -206,3 +206,43 @@ func TestFingerprint(t *testing.T) {
 		t.Fatalf("fingerprint length %d", len(a))
 	}
 }
+
+func TestCacheLookupFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LookupFingerprint("fpA"); ok {
+		t.Fatal("unexpected fingerprint hit on empty cache")
+	}
+	r := system.Result{Cycles: 77, Stats: map[string]float64{"x": 1}}
+	// Two keys aliasing one fingerprint (overlapping grids): either
+	// entry answers a by-fingerprint read.
+	if err := c.Store("fig7/point", "fpA", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("fig9/point", "fpA", r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.LookupFingerprint("fpA")
+	if !ok || got.Cycles != 77 || got.Stats["x"] != 1 {
+		t.Fatalf("LookupFingerprint = %+v, %v", got, ok)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The by-fingerprint index must be rebuilt on load.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got, ok := c2.LookupFingerprint("fpA"); !ok || got.Cycles != 77 {
+		t.Fatalf("reloaded LookupFingerprint = %+v, %v", got, ok)
+	}
+	if _, ok := c2.LookupFingerprint("fpB"); ok {
+		t.Fatal("hit on unknown fingerprint")
+	}
+}

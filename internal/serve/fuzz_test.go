@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The job-request parser ingests arbitrary client bytes; it must
+// reject garbage with an error — never panic, never accept a request
+// missing its identity.
+func FuzzParseJobRequest(f *testing.F) {
+	f.Add([]byte(`{"experiment":"fig7","scale":"smoke"}`))
+	f.Add([]byte(`{"experiment":"all","scale":"full","seed":18446744073709551615}`))
+	f.Add([]byte(`{"experiment":"fig3","scale":"quick","overrides":{"Cores":4,"MCQueue":16}}`))
+	f.Add([]byte(`{"experiment":"fig3","scale":"quick","overrides":[1,2,3]}`))
+	f.Add([]byte(`{"experiment":1e999,"scale":"smoke"}`))
+	f.Add([]byte(`{"experiment":"fig7","scale":"smoke"}{"x":1}`))
+	f.Add([]byte(`{"exp`))
+	f.Add([]byte("\xff\xfe{}"))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseJobRequest(bytes.NewReader(data))
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error for malformed request")
+			}
+			return
+		}
+		if req.Experiment == "" || req.Scale == "" {
+			t.Fatalf("accepted request without identity: %+v", req)
+		}
+	})
+}

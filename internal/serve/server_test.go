@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bulkpim/internal/coord"
+	"bulkpim/internal/system"
+)
+
+// fakeBackend is an in-memory Backend: a grid of points per
+// experiment, a map cache, and an execution log. Executions complete
+// only when the test releases them, so in-flight coalescing is
+// deterministic to probe.
+type fakeBackend struct {
+	mu       sync.Mutex
+	grids    map[string][]Point
+	cache    map[string]system.Result // composite key\x00fp
+	execs    []string                 // fingerprints dispatched, in order
+	execDone map[string]func(system.Result, error)
+	hold     bool // true: executions wait for release()
+	failFPs  map[string]bool
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{grids: map[string][]Point{}, cache: map[string]system.Result{},
+		execDone: map[string]func(system.Result, error){}}
+}
+
+func (b *fakeBackend) backend() Backend {
+	return Backend{
+		Resolve: func(req JobRequest) ([]Point, error) {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			g, ok := b.grids[req.Experiment]
+			if !ok {
+				return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
+			}
+			return g, nil
+		},
+		Lookup: func(key, fp string) (system.Result, bool) {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			r, ok := b.cache[key+"\x00"+fp]
+			return r, ok
+		},
+		LookupFP: func(fp string) (system.Result, bool) {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			for k, r := range b.cache {
+				if strings.HasSuffix(k, "\x00"+fp) {
+					return r, true
+				}
+			}
+			return system.Result{}, false
+		},
+		Store: func(key, fp string, r system.Result) {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.cache[key+"\x00"+fp] = r
+		},
+		Exec: func(req JobRequest, p Point, done func(system.Result, error)) {
+			b.mu.Lock()
+			b.execs = append(b.execs, p.Fingerprint)
+			hold := b.hold
+			fail := b.failFPs[p.Fingerprint]
+			if hold {
+				b.execDone[p.Fingerprint] = done
+			}
+			b.mu.Unlock()
+			if hold {
+				return
+			}
+			if fail {
+				done(system.Result{}, errors.New("sim exploded"))
+				return
+			}
+			done(system.Result{Cycles: 42, Stats: map[string]float64{"fp:" + p.Fingerprint: 1}}, nil)
+		},
+	}
+}
+
+// release completes a held execution.
+func (b *fakeBackend) release(fp string, r system.Result, err error) {
+	b.mu.Lock()
+	done := b.execDone[fp]
+	delete(b.execDone, fp)
+	b.mu.Unlock()
+	if done == nil {
+		panic("release of non-held execution " + fp)
+	}
+	done(r, err)
+}
+
+func (b *fakeBackend) execCount(fp string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, e := range b.execs {
+		if e == fp {
+			n++
+		}
+	}
+	return n
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) JobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST /v1/jobs: %d (%v)", resp.StatusCode, e)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitSettled(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getJob(t, ts, id)
+		if st.Status != "pending" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never settled: %+v", id, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubmitCacheHit: a fully cached request settles done in the
+// submission response itself, with every point counted as cached.
+func TestSubmitCacheHit(t *testing.T) {
+	b := newFakeBackend()
+	b.grids["fig1"] = []Point{
+		{Key: "fig1/a", Fingerprint: "fpa"},
+		{Key: "fig1/b", Fingerprint: "fpb", Aliases: []string{"fig2/b"}},
+	}
+	b.cache["fig1/a\x00fpa"] = system.Result{Cycles: 1}
+	b.cache["fig1/b\x00fpb"] = system.Result{Cycles: 2}
+	ts := httptest.NewServer(NewServer(b.backend()))
+	defer ts.Close()
+
+	st := postJob(t, ts, `{"experiment":"fig1","scale":"smoke"}`)
+	if st.Status != "done" || st.Cached != 2 || st.Done != 2 || st.Failed != 0 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Results["fig1/b"].Cycles != 2 || st.Results["fig2/b"].Cycles != 2 {
+		t.Fatalf("alias results %+v", st.Results)
+	}
+	if len(b.execs) != 0 {
+		t.Fatalf("cache hits executed: %v", b.execs)
+	}
+}
+
+// TestSubmitMissExecutesAndStores: a miss dispatches exactly one
+// execution per point, polls pending until it lands, then serves done
+// with the result written back under canonical and alias keys.
+func TestSubmitMissExecutesAndStores(t *testing.T) {
+	b := newFakeBackend()
+	b.grids["fig3"] = []Point{{Key: "fig3/x", Fingerprint: "fpx", Aliases: []string{"fig4/x"}}}
+	ts := httptest.NewServer(NewServer(b.backend()))
+	defer ts.Close()
+
+	st := postJob(t, ts, `{"experiment":"fig3","scale":"smoke"}`)
+	st = waitSettled(t, ts, st.ID)
+	if st.Status != "done" || st.Done != 1 || st.Cached != 0 {
+		t.Fatalf("status %+v", st)
+	}
+	if b.execCount("fpx") != 1 {
+		t.Fatalf("fpx executed %d times", b.execCount("fpx"))
+	}
+	b.mu.Lock()
+	_, canon := b.cache["fig3/x\x00fpx"]
+	_, alias := b.cache["fig4/x\x00fpx"]
+	b.mu.Unlock()
+	if !canon || !alias {
+		t.Fatalf("write-back missing: canon=%v alias=%v", canon, alias)
+	}
+	// A repeat submission is now a pure cache hit.
+	st = postJob(t, ts, `{"experiment":"fig3","scale":"smoke"}`)
+	if st.Status != "done" || st.Cached != 1 {
+		t.Fatalf("warm status %+v", st)
+	}
+}
+
+// TestInflightCoalescing: two requests overlapping on a fingerprint
+// while it is executing share the single execution, and the late
+// request's distinct keys are written back too.
+func TestInflightCoalescing(t *testing.T) {
+	b := newFakeBackend()
+	b.hold = true
+	b.grids["figA"] = []Point{{Key: "figA/p", Fingerprint: "fp1"}}
+	b.grids["figB"] = []Point{{Key: "figB/p", Fingerprint: "fp1"}} // same point, other grid
+	ts := httptest.NewServer(NewServer(b.backend()))
+	defer ts.Close()
+
+	stA := postJob(t, ts, `{"experiment":"figA","scale":"smoke"}`)
+	stB := postJob(t, ts, `{"experiment":"figB","scale":"smoke"}`)
+	if stA.Status != "pending" || stB.Status != "pending" {
+		t.Fatalf("pre-release statuses %q, %q", stA.Status, stB.Status)
+	}
+	if b.execCount("fp1") != 1 {
+		t.Fatalf("fp1 dispatched %d times, want 1 (coalesced)", b.execCount("fp1"))
+	}
+	b.release("fp1", system.Result{Cycles: 9}, nil)
+	if st := waitSettled(t, ts, stA.ID); st.Results["figA/p"].Cycles != 9 {
+		t.Fatalf("A settled %+v", st)
+	}
+	if st := waitSettled(t, ts, stB.ID); st.Results["figB/p"].Cycles != 9 {
+		t.Fatalf("B settled %+v", st)
+	}
+	b.mu.Lock()
+	_, okA := b.cache["figA/p\x00fp1"]
+	_, okB := b.cache["figB/p\x00fp1"]
+	b.mu.Unlock()
+	if !okA || !okB {
+		t.Fatalf("write-back keys: A=%v B=%v", okA, okB)
+	}
+	// Stats must show the coalesce.
+	var rep StatsReport
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 1 || rep.Coalesced != 1 || rep.Requests != 2 {
+		t.Fatalf("stats %+v", rep.Counters)
+	}
+}
+
+// TestExecFailure: a failing execution settles the job as failed with
+// the error against the point's canonical key, and nothing is written
+// back.
+func TestExecFailure(t *testing.T) {
+	b := newFakeBackend()
+	b.failFPs = map[string]bool{"fpbad": true}
+	b.grids["fig"] = []Point{
+		{Key: "fig/good", Fingerprint: "fpgood"},
+		{Key: "fig/bad", Fingerprint: "fpbad"},
+	}
+	ts := httptest.NewServer(NewServer(b.backend()))
+	defer ts.Close()
+
+	st := waitSettled(t, ts, postJob(t, ts, `{"experiment":"fig","scale":"smoke"}`).ID)
+	if st.Status != "failed" || st.Failed != 1 || st.Done != 1 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Errors["fig/bad"] != "sim exploded" {
+		t.Fatalf("errors %+v", st.Errors)
+	}
+	b.mu.Lock()
+	_, stored := b.cache["fig/bad\x00fpbad"]
+	b.mu.Unlock()
+	if stored {
+		t.Fatal("failed execution written back")
+	}
+}
+
+// TestResultByFingerprint: direct cache reads hit and miss cleanly.
+func TestResultByFingerprint(t *testing.T) {
+	b := newFakeBackend()
+	b.cache["k\x00fpz"] = system.Result{Cycles: 5}
+	ts := httptest.NewServer(NewServer(b.backend()))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/results/fpz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r system.Result
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil || r.Cycles != 5 {
+		t.Fatalf("result %+v, %v", r, err)
+	}
+	resp.Body.Close()
+	if resp, err = http.Get(ts.URL + "/v1/results/nope"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing fingerprint: %d", resp.StatusCode)
+	}
+}
+
+// TestBadRequests: malformed submissions are 400s with clean errors
+// and counted, unknown jobs are 404s.
+func TestBadRequests(t *testing.T) {
+	b := newFakeBackend()
+	ts := httptest.NewServer(NewServer(b.backend()))
+	defer ts.Close()
+
+	for _, body := range []string{
+		``, `{`, `[]`, `{"experiment":"fig"}`, `{"scale":"smoke"}`,
+		`{"experiment":"fig","scale":"smoke","bogus":1}`,
+		`{"experiment":"fig","scale":"smoke"}{"again":true}`,
+		`{"experiment":"unknown-exp","scale":"smoke"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+}
+
+// TestHealthzStatsWorkersShutdown: the operational endpoints reflect
+// the fleet hooks.
+func TestHealthzStatsWorkersShutdown(t *testing.T) {
+	b := newFakeBackend()
+	be := b.backend()
+	var fleetMu sync.Mutex
+	fleet := []coord.WorkerStats{{ID: 0, State: "idle"}}
+	be.Fleet = func() coord.PoolStats {
+		fleetMu.Lock()
+		defer fleetMu.Unlock()
+		return coord.PoolStats{Workers: append([]coord.WorkerStats(nil), fleet...), Lost: 1}
+	}
+	be.AddWorker = func() (int, error) {
+		fleetMu.Lock()
+		defer fleetMu.Unlock()
+		id := len(fleet)
+		fleet = append(fleet, coord.WorkerStats{ID: id, State: "idle"})
+		return id, nil
+	}
+	be.RemoveWorker = func(id int) error {
+		if id != 0 {
+			return fmt.Errorf("no worker %d", id)
+		}
+		return nil
+	}
+	down := make(chan struct{})
+	be.Shutdown = func() { close(down) }
+	ts := httptest.NewServer(NewServer(be))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["status"] != "ok" || hz["workers"] != float64(1) {
+		t.Fatalf("healthz %+v", hz)
+	}
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+	if resp, body := post("/v1/workers", `{"add":2}`); resp.StatusCode != 200 {
+		t.Fatalf("add workers: %d %s", resp.StatusCode, body)
+	} else {
+		var added struct {
+			Added []int `json:"added"`
+		}
+		if err := json.Unmarshal(body, &added); err != nil || len(added.Added) != 2 ||
+			added.Added[0] != 1 || added.Added[1] != 2 {
+			t.Fatalf("add workers body %s (%v)", body, err)
+		}
+	}
+	if resp, _ := post("/v1/workers", `{"remove":0}`); resp.StatusCode != 200 {
+		t.Fatalf("remove worker: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/workers", `{"remove":9}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove unknown worker: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/workers", `{"add":1,"remove":0}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ambiguous workers request: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/workers", `{"launch":"x"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown workers field: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep StatsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rep.Fleet == nil || rep.Fleet.Lost != 1 || len(rep.Fleet.Workers) != 3 {
+		t.Fatalf("stats fleet %+v", rep.Fleet)
+	}
+
+	if resp, _ := post("/v1/shutdown", ``); resp.StatusCode != 200 {
+		t.Fatalf("shutdown: %d", resp.StatusCode)
+	}
+	select {
+	case <-down:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hook never fired")
+	}
+}
+
+// TestParseJobRequest pins the parser's strictness directly.
+func TestParseJobRequest(t *testing.T) {
+	req, err := ParseJobRequest(strings.NewReader(
+		`{"experiment":"fig7","scale":"quick","seed":9,"overrides":{"Cores":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Experiment != "fig7" || req.Scale != "quick" || req.Seed != 9 ||
+		string(req.Overrides) != `{"Cores":2}` {
+		t.Fatalf("parsed %+v", req)
+	}
+	for _, bad := range []string{
+		``, `null`, `42`, `"fig7"`, `{"experiment":"fig7"}`, `{"scale":"smoke"}`,
+		`{"experiment":"fig7","scale":"smoke","seed":-1}`,
+		`{"experiment":"fig7","scale":"smoke","extra":{}}`,
+		`{"experiment":"fig7","scale":"smoke"} trailing`,
+	} {
+		if _, err := ParseJobRequest(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

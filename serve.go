@@ -1,0 +1,436 @@
+package bulkpim
+
+// The always-on serving daemon behind `pimbench serve`: internal/serve
+// supplies the HTTP/JSON API, internal/coord the persistent elastic
+// worker pool, and this file the bulkpim-specific glue — resolving a
+// request (experiment × scale × seed × config overrides) to its
+// deduplicated plan, strict config-override validation, the shared
+// result cache, and the two execution backends (in-process local
+// workers, or a fleet of `pimbench work -dynamic` subprocesses that
+// plan per job spec instead of per startup flags).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bulkpim/internal/coord"
+	"bulkpim/internal/serve"
+)
+
+// ParseConfigOverride validates a client's raw config-override JSON —
+// an object of Config field overrides such as {"Cores":2,"MCQueue":16}
+// — and returns a pure mutator applying it, or nil for an empty/null
+// override. Decoding is strict (unknown fields, type mismatches and
+// trailing data are errors) and validated once against the default
+// Config, so a bad override is rejected at request time, never inside
+// a worker.
+func ParseConfigOverride(raw []byte) (func(*Config), error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 || bytes.Equal(trimmed, []byte("null")) {
+		return nil, nil
+	}
+	apply := func(cfg *Config) error {
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(cfg); err != nil {
+			return err
+		}
+		if dec.More() {
+			return errors.New("trailing data after override object")
+		}
+		return nil
+	}
+	probe := DefaultConfig()
+	if err := apply(&probe); err != nil {
+		return nil, fmt.Errorf("config override: %w", err)
+	}
+	// The mutator re-applies the already-validated document; decoding
+	// cannot fail differently on another Config value of the same type.
+	return func(cfg *Config) { _ = apply(cfg) }, nil
+}
+
+// resolvedPlan is one request shape's deduplicated plan: the API's
+// point list and the fingerprint-to-job index executors run from.
+type resolvedPlan struct {
+	points []serve.Point
+	byFP   map[string]SimJob
+}
+
+// planCache memoizes resolved plans by full spec identity
+// (experiment × scale × seed × overrides). Planning is deterministic,
+// so the daemon and every dynamic worker derive identical fingerprints
+// from the same spec — the serve-fleet analogue of the coordinator's
+// hello-skew guarantee.
+type planCache struct {
+	opts  Options
+	mu    sync.Mutex
+	plans map[string]*resolvedPlan
+}
+
+func newPlanCache(opts Options) *planCache {
+	return &planCache{opts: opts, plans: map[string]*resolvedPlan{}}
+}
+
+func specKey(spec coord.JobSpec) string {
+	return spec.Exp + "\x00" + spec.Scale + "\x00" + strconv.FormatUint(spec.Seed, 10) + "\x00" + spec.Overrides
+}
+
+func (pc *planCache) resolve(spec coord.JobSpec) (*resolvedPlan, error) {
+	key := specKey(spec)
+	pc.mu.Lock()
+	if rp, ok := pc.plans[key]; ok {
+		pc.mu.Unlock()
+		return rp, nil
+	}
+	pc.mu.Unlock()
+
+	// Plan outside the lock (workload identity derivation is cheap but
+	// not free); concurrent duplicate resolves converge on one entry.
+	if !ValidScale(Scale(spec.Scale)) {
+		return nil, fmt.Errorf("unknown scale %q (valid: %v)", spec.Scale, Scales())
+	}
+	if spec.Exp != "all" {
+		if _, ok := LookupExperiment(spec.Exp); !ok {
+			return nil, fmt.Errorf("unknown experiment %q (valid: all, %s)",
+				spec.Exp, strings.Join(Experiments(), ", "))
+		}
+	}
+	mut, err := ParseConfigOverride([]byte(spec.Overrides))
+	if err != nil {
+		return nil, err
+	}
+	opts := pc.opts
+	opts.Scale = Scale(spec.Scale)
+	opts.Seed = spec.Seed
+	planned, err := planFor(spec.Exp, opts)
+	if err != nil {
+		return nil, err
+	}
+	if mut != nil {
+		// Overrides win: applied after each job's own Mutate, so the
+		// fingerprints (digests of the final Config) shift with the
+		// override and never collide with the base grid's.
+		for pi := range planned {
+			for ji := range planned[pi].jobs {
+				inner := planned[pi].jobs[ji].Mutate
+				planned[pi].jobs[ji].Mutate = func(c *Config) {
+					if inner != nil {
+						inner(c)
+					}
+					mut(c)
+				}
+			}
+		}
+	}
+	groups, _ := dedupPlan(planned)
+	rp := &resolvedPlan{byFP: make(map[string]SimJob, len(groups))}
+	for _, g := range groups {
+		rp.points = append(rp.points, serve.Point{
+			Key: g.keys[0], Fingerprint: g.fp, Aliases: g.keys[1:]})
+		rp.byFP[g.fp] = g.job
+	}
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if prior, ok := pc.plans[key]; ok {
+		return prior, nil
+	}
+	pc.plans[key] = rp
+	return rp, nil
+}
+
+// execute resolves a dynamic job's spec and runs the fingerprint's
+// simulation, with the worker protocol's panic capture.
+func (pc *planCache) execute(spec coord.JobSpec, key, fingerprint string) (r Result, err error) {
+	rp, err := pc.resolve(spec)
+	if err != nil {
+		return r, err
+	}
+	j, ok := rp.byFP[fingerprint]
+	if !ok {
+		return r, fmt.Errorf("unknown fingerprint %s for %s (plan skew between daemon and worker?)",
+			fingerprint, key)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return j.Job().Run()
+}
+
+// ServeDynamicWork is the worker half of a serve fleet — `pimbench
+// work -dynamic`: it plans nothing at startup (hello announces
+// DynamicDistinct), derives each job's plan from the spec riding in
+// its frame, and memoizes resolved plans across jobs. failAfter > 0 is
+// the same crash-injection hook the static worker has.
+func ServeDynamicWork(opts Options, in io.Reader, out io.Writer, failAfter int) error {
+	pc := newPlanCache(opts)
+	return coord.Serve(in, out, coord.ServeOptions{
+		Distinct: coord.DynamicDistinct,
+		Execute: func(key, fingerprint string) (Result, error) {
+			return Result{}, errors.New("dynamic worker requires a job spec")
+		},
+		ExecuteSpec: pc.execute,
+		FailAfter:   failAfter,
+		Log:         opts.Log,
+	})
+}
+
+// serveWorkArgs builds the dynamic work-subcommand argv a serve daemon
+// hands its fleet. Unlike coordWorkArgs there is no experiment, scale
+// or seed — those travel per job in the spec — only the shared
+// resources workers attach to. TestServeWorkArgsRoundTrip asserts the
+// round-trip through the work flag set.
+func serveWorkArgs(opts Options) []string {
+	args := []string{"work", "-dynamic"}
+	if opts.Snapshots != nil {
+		args = append(args, "-snapshot-dir", opts.Snapshots.Dir())
+	}
+	return args
+}
+
+// ServerOptions configures the daemon around Options (which carries
+// the cache, snapshots, log and scale-independent knobs).
+type ServerOptions struct {
+	// Addr is the listen address; empty means 127.0.0.1:0 (ephemeral).
+	Addr string
+	// Workers is the initial fleet size (<= 0 means 2) and the
+	// auto-replace target: a worker lost mid-run is replaced as long as
+	// the live fleet is below it. Workers added over HTTP can exceed it.
+	Workers int
+	// WorkerCmd is the worker launch template (see CoordOptions).
+	WorkerCmd string
+	// Local runs executions on in-process workers instead of
+	// subprocesses — no re-exec requirement, used by tests and
+	// single-machine serving. Crash injection is subprocess-only.
+	Local bool
+	// WorkerStderr receives the workers' stderr; nil discards it.
+	WorkerStderr io.Writer
+	// FailWorker/FailAfter crash-inject the initial worker with id
+	// FailWorker after FailAfter jobs (FailAfter > 0 enables it).
+	// Replacement workers get fresh ids and are never injected.
+	FailWorker int
+	FailAfter  int
+	// MaxAttempts, BaseBackoff and MaxBackoff tune the pool's retry
+	// budget and per-worker backoff; zero values use the pool defaults.
+	MaxAttempts int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// Server is a running pimbench serve daemon: an HTTP listener in front
+// of the result cache and an elastic worker pool.
+type Server struct {
+	opts    Options
+	sopts   ServerOptions
+	pc      *planCache
+	pool    *coord.Pool
+	hs      *http.Server
+	ln      net.Listener
+	target  int
+	closing atomic.Bool
+	logf    func(format string, args ...any)
+}
+
+// NewServer wires the daemon and starts its initial worker fleet, but
+// does not serve yet — call Serve (blocking) after reading Addr.
+func NewServer(opts Options, sopts ServerOptions) (*Server, error) {
+	if opts.Cache == nil {
+		return nil, errors.New("pimbench serve needs Options.Cache: the daemon is a results CDN over the shared result cache")
+	}
+	s := &Server{opts: opts, sopts: sopts, pc: newPlanCache(opts)}
+
+	// The pool (and the HTTP handlers) log from many goroutines, but
+	// Options.Log's contract does not require goroutine-safety.
+	s.logf = func(string, ...any) {}
+	if opts.Log != nil {
+		var logMu sync.Mutex
+		base := opts.Log
+		s.logf = func(format string, args ...any) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			base(format, args...)
+		}
+	}
+
+	s.target = sopts.Workers
+	if s.target <= 0 {
+		s.target = 2
+	}
+	s.pool = coord.NewPool(coord.PoolOptions{
+		Launch:       s.launchWorker,
+		MaxAttempts:  sopts.MaxAttempts,
+		BaseBackoff:  sopts.BaseBackoff,
+		MaxBackoff:   sopts.MaxBackoff,
+		Log:          s.logf,
+		OnWorkerLost: s.onWorkerLost,
+	})
+	var launchErrs []error
+	for i := 0; i < s.target; i++ {
+		if _, err := s.pool.AddWorker(); err != nil {
+			launchErrs = append(launchErrs, err)
+		}
+	}
+	if len(s.pool.Stats().Workers) == 0 {
+		s.pool.Close()
+		return nil, fmt.Errorf("no worker launched: %w", errors.Join(launchErrs...))
+	}
+	for _, err := range launchErrs {
+		s.logf("serve: %v (continuing on the rest of the fleet)", err)
+	}
+
+	api := serve.NewServer(serve.Backend{
+		Resolve:  s.resolveRequest,
+		Lookup:   opts.Cache.Lookup,
+		LookupFP: opts.Cache.LookupFingerprint,
+		Store: func(key, fingerprint string, r Result) {
+			if err := opts.Cache.Store(key, fingerprint, r); err != nil {
+				s.logf("cache store %s: %v", key, err)
+			}
+		},
+		Exec:  s.exec,
+		Fleet: s.pool.Stats,
+		AddWorker: func() (int, error) {
+			return s.pool.AddWorker()
+		},
+		RemoveWorker: s.pool.RemoveWorker,
+		Shutdown: func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil {
+				s.logf("serve: shutdown: %v", err)
+			}
+		},
+	})
+
+	addr := sopts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.pool.Close()
+		return nil, fmt.Errorf("pimbench serve: %w", err)
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: api}
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve blocks serving the API until Shutdown; a graceful shutdown
+// returns nil.
+func (s *Server) Serve() error {
+	err := s.hs.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the listener and dismisses the fleet.
+// Queued tasks settle as failed; in-flight ones finish first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	err := s.hs.Shutdown(ctx)
+	s.pool.Close()
+	return err
+}
+
+// resolveRequest is the API's planning hook.
+func (s *Server) resolveRequest(req serve.JobRequest) ([]serve.Point, error) {
+	rp, err := s.pc.resolve(specOf(req))
+	if err != nil {
+		return nil, err
+	}
+	return rp.points, nil
+}
+
+func specOf(req serve.JobRequest) coord.JobSpec {
+	return coord.JobSpec{Exp: strings.ToLower(req.Experiment), Scale: req.Scale,
+		Seed: req.Seed, Overrides: string(req.Overrides)}
+}
+
+// exec dispatches one missing point onto the pool.
+func (s *Server) exec(req serve.JobRequest, p serve.Point, done func(Result, error)) {
+	spec := specOf(req)
+	task := coord.Task{Key: p.Key, Fingerprint: p.Fingerprint, Spec: &spec}
+	if err := s.pool.Submit(task, func(o coord.Outcome) { done(o.Value, o.Err) }); err != nil {
+		done(Result{}, err)
+	}
+}
+
+// launchWorker starts one fleet member: an in-process worker (Local)
+// or a `pimbench work -dynamic` subprocess.
+func (s *Server) launchWorker(id int) (coord.Worker, error) {
+	if s.sopts.Local {
+		return &localServeWorker{pc: s.pc}, nil
+	}
+	args := serveWorkArgs(s.opts)
+	if s.sopts.FailAfter > 0 && id == s.sopts.FailWorker {
+		args = append(append([]string(nil), args...),
+			"-fail-after", strconv.Itoa(s.sopts.FailAfter))
+	}
+	argv, err := workerArgv(s.sopts.WorkerCmd, args)
+	if err != nil {
+		return nil, err
+	}
+	w, hello, err := coord.StartProc(id, argv, s.sopts.WorkerStderr)
+	if err != nil {
+		return nil, err
+	}
+	if hello.Distinct != coord.DynamicDistinct {
+		w.Close()
+		return nil, fmt.Errorf("worker announced a static plan (distinct %d); a serve fleet needs `work -dynamic` workers",
+			hello.Distinct)
+	}
+	return w, nil
+}
+
+// onWorkerLost keeps the fleet at the auto-replace target while the
+// daemon is live.
+func (s *Server) onWorkerLost(id int, err error) {
+	if s.closing.Load() {
+		return
+	}
+	if len(s.pool.Stats().Workers) >= s.target {
+		return
+	}
+	if _, aerr := s.pool.AddWorker(); aerr != nil {
+		s.logf("serve: replacing lost worker %d: %v", id, aerr)
+		return
+	}
+	s.logf("serve: worker %d lost (%v), replacement joined", id, err)
+}
+
+// localServeWorker executes dynamic tasks in-process. Execution errors
+// are job-level (*coord.JobError): an in-process worker does not die
+// with its job.
+type localServeWorker struct{ pc *planCache }
+
+func (w *localServeWorker) Run(t coord.Task) (Result, error) {
+	if t.Spec == nil {
+		return Result{}, &coord.JobError{Msg: "dynamic task without a spec"}
+	}
+	v, err := w.pc.execute(*t.Spec, t.Key, t.Fingerprint)
+	if err != nil {
+		return Result{}, &coord.JobError{Msg: err.Error()}
+	}
+	return v, nil
+}
+
+func (w *localServeWorker) Close() error { return nil }

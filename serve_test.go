@@ -1,0 +1,276 @@
+package bulkpim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bulkpim/internal/coord"
+	"bulkpim/internal/serve"
+)
+
+// jobSpec builds a dynamic-job spec the way the daemon does from an
+// API request.
+func jobSpec(exp, scale string, seed uint64, overrides string) coord.JobSpec {
+	return coord.JobSpec{Exp: exp, Scale: scale, Seed: seed, Overrides: overrides}
+}
+
+func TestParseConfigOverride(t *testing.T) {
+	mut, err := ParseConfigOverride([]byte(`{"Cores":3,"MCQueue":16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	mut(&cfg)
+	if cfg.Cores != 3 || cfg.MCQueue != 16 {
+		t.Fatalf("override not applied: Cores=%d MCQueue=%d", cfg.Cores, cfg.MCQueue)
+	}
+	// Untouched fields keep their prior values.
+	if cfg.Banks != DefaultConfig().Banks {
+		t.Fatalf("override clobbered Banks: %d", cfg.Banks)
+	}
+
+	for _, empty := range []string{"", "   ", "null"} {
+		mut, err := ParseConfigOverride([]byte(empty))
+		if err != nil || mut != nil {
+			t.Fatalf("ParseConfigOverride(%q) = %p, %v; want nil, nil", empty, mut, err)
+		}
+	}
+
+	for _, bad := range []string{
+		`{"NoSuchKnob":1}`,    // unknown field
+		`{"Cores":"three"}`,   // type mismatch
+		`[1,2,3]`,             // not an object
+		`{"Cores":2} {"x":1}`, // trailing data
+		`{"Cores":`,           // truncated
+		`true`,
+	} {
+		if _, err := ParseConfigOverride([]byte(bad)); err == nil {
+			t.Errorf("ParseConfigOverride(%q) accepted", bad)
+		}
+	}
+}
+
+// Override-carrying requests must shift every fingerprint: the plan
+// digests the final mutated Config (overrides win over the grid's own
+// Mutate), so an overridden grid can never collide with — or poison —
+// the base grid's cache entries.
+func TestConfigOverrideShiftsFingerprints(t *testing.T) {
+	pc := newPlanCache(Options{})
+	base, err := pc.resolve(jobSpec("fig3", "smoke", 0, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := pc.resolve(jobSpec("fig3", "smoke", 0, `{"MCQueue":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.points) == 0 || len(base.points) != len(over.points) {
+		t.Fatalf("point counts: base %d, override %d", len(base.points), len(over.points))
+	}
+	baseFPs := map[string]bool{}
+	for _, p := range base.points {
+		baseFPs[p.Fingerprint] = true
+	}
+	for _, p := range over.points {
+		if baseFPs[p.Fingerprint] {
+			t.Fatalf("override did not shift fingerprint of %s", p.Key)
+		}
+	}
+	// Same spec resolves to the same memoized plan.
+	again, err := pc.resolve(jobSpec("fig3", "smoke", 0, `{"MCQueue":64}`))
+	if err != nil || again != over {
+		t.Fatalf("memo miss on identical spec: %p vs %p, %v", again, over, err)
+	}
+
+	// Bad specs are rejected at resolve time, before any worker sees them.
+	for _, bad := range []coord.JobSpec{
+		jobSpec("fig3", "galactic", 0, ""),
+		jobSpec("fig99", "smoke", 0, ""),
+		jobSpec("fig3", "smoke", 0, `{"NoSuchKnob":1}`),
+	} {
+		if _, err := pc.resolve(bad); err == nil {
+			t.Errorf("resolve(%+v) accepted", bad)
+		}
+	}
+}
+
+func FuzzConfigOverride(f *testing.F) {
+	f.Add([]byte(`{"Cores":4,"MCQueue":16}`))
+	f.Add([]byte(`{"PIMZeroLatency":true,"Seed":18446744073709551615}`))
+	f.Add([]byte(`{"ClockGHz":1e999}`))
+	f.Add([]byte(`{"Cores":2} garbage`))
+	f.Add([]byte(`{"Core`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\xff\xfe{}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mut, err := ParseConfigOverride(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error for rejected override")
+			}
+			return
+		}
+		if mut == nil {
+			return // empty/null override
+		}
+		cfg := DefaultConfig()
+		mut(&cfg) // an accepted override must apply without panicking
+	})
+}
+
+// startLocalServer boots a daemon on an ephemeral port with in-process
+// workers and a fresh cache, returning its base URL.
+func startLocalServer(t *testing.T, opts Options, sopts ServerOptions) (*Server, string) {
+	t.Helper()
+	sopts.Local = true
+	if sopts.Addr == "" {
+		sopts.Addr = "127.0.0.1:0"
+	}
+	srv, err := NewServer(opts, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, "http://" + srv.Addr()
+}
+
+// submitJob POSTs one request and returns the response job status.
+func submitJob(t *testing.T, url, body string) serve.JobStatus {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/jobs %s: status %d, decode err %v", body, resp.StatusCode, err)
+	}
+	return st
+}
+
+// awaitJob polls a job until it settles.
+func awaitJob(t *testing.T, url, id string) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: status %d, decode err %v", id, resp.StatusCode, err)
+		}
+		if st.Status != "pending" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still pending after 2m: %+v", id, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeHTTPDedupExactlyOnce is the cross-request in-flight dedup
+// property on the HTTP path: N concurrent clients submit overlapping
+// grids against a cold cache, and each distinct fingerprint in the
+// union of their plans executes exactly once — the serving analogue of
+// TestCoordinateDeliversEachFingerprintOnce. Executions are counted by
+// the registry's global Execute counter, so equality with the distinct
+// union is exactly-once (every miss must execute at least once to
+// settle done).
+func TestServeHTTPDedupExactlyOnce(t *testing.T) {
+	cache, err := OpenResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	opts := Options{Cache: cache}
+	_, url := startLocalServer(t, opts, ServerOptions{Workers: 4})
+
+	// The expected distinct-fingerprint union of everything the clients
+	// will request, planned independently of the daemon.
+	shapes := []string{"fig3", "fig1"}
+	want := map[string]bool{}
+	for _, exp := range shapes {
+		o := opts
+		o.Scale = ScaleSmoke
+		planned, err := planFor(exp, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups, _ := dedupPlan(planned)
+		for _, g := range groups {
+			want[g.fp] = true
+		}
+	}
+
+	base := execCount.Load()
+	const clients = 8
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		exp := shapes[i%len(shapes)]
+		wg.Add(1)
+		go func(i int, exp string) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"experiment":%q,"scale":"smoke"}`, exp)
+			resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer resp.Body.Close()
+			var st serve.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("client %d: status %d, err %v", i, resp.StatusCode, err)
+				return
+			}
+			ids[i] = st.ID
+		}(i, exp)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	for i, id := range ids {
+		st := awaitJob(t, url, id)
+		if st.Status != "done" {
+			t.Fatalf("client %d job %s settled %q: errors %v", i, id, st.Status, st.Errors)
+		}
+		if len(st.Results) != st.Points {
+			t.Errorf("client %d: %d results for %d points", i, len(st.Results), st.Points)
+		}
+	}
+
+	if got := execCount.Load() - base; got != int64(len(want)) {
+		t.Fatalf("executed %d simulations for %d distinct fingerprints — dedup across requests failed", got, len(want))
+	}
+
+	// Warm repeat: pure cache hits, settled in the submit response,
+	// zero further executions.
+	st := submitJob(t, url, `{"experiment":"fig3","scale":"smoke"}`)
+	if st.Status != "done" || st.Cached != st.Points || st.Points == 0 {
+		t.Fatalf("warm submit not served from cache: %+v", st)
+	}
+	if got := execCount.Load() - base; got != int64(len(want)) {
+		t.Fatalf("warm submit executed work: %d executions for %d fingerprints", got, len(want))
+	}
+}
