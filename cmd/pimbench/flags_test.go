@@ -1,0 +1,102 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// TestSharedFlagParity pins the consolidation contract of flags.go:
+// every flag name appearing in several subcommands is declared by one
+// shared builder, so its default cannot drift between subcommands —
+// the failure mode that would let run's -stream and coord's -stream
+// (or the -exp/-scale/-seed trio the coordinator round-trips to its
+// workers) silently diverge.
+func TestSharedFlagParity(t *testing.T) {
+	sets := map[string]*flag.FlagSet{}
+	collect := func(name string, fs *flag.FlagSet) { sets[name] = fs }
+	{
+		fs, _ := newRunFlags(io.Discard)
+		collect("run", fs)
+	}
+	{
+		fs, _ := newPlanFlags(io.Discard)
+		collect("plan", fs)
+	}
+	{
+		fs, _ := newCoordFlags(io.Discard)
+		collect("coord", fs)
+	}
+	{
+		fs, _ := newServeFlags(io.Discard)
+		collect("serve", fs)
+	}
+	{
+		fs, _ := newWorkFlags(io.Discard)
+		collect("work", fs)
+	}
+
+	type decl struct{ cmd, def string }
+	byName := map[string][]decl{}
+	for cmd, fs := range sets {
+		fs.VisitAll(func(f *flag.Flag) {
+			byName[f.Name] = append(byName[f.Name], decl{cmd: cmd, def: f.DefValue})
+		})
+	}
+	for name, decls := range byName {
+		for _, d := range decls[1:] {
+			if d.def != decls[0].def {
+				t.Errorf("flag -%s default drifts: %s has %q, %s has %q",
+					name, decls[0].cmd, decls[0].def, d.cmd, d.def)
+			}
+		}
+	}
+
+	has := func(cmd, name string) bool { return sets[cmd].Lookup(name) != nil }
+	// -stream exists on exactly the two report-rendering subcommands.
+	for cmd, want := range map[string]bool{"run": true, "coord": true, "plan": false, "serve": false, "work": false} {
+		if got := has(cmd, "stream"); got != want {
+			t.Errorf("-stream on %s: got %v, want %v", cmd, got, want)
+		}
+	}
+	// -diff is plan-only: an incremental re-plan is a planning decision.
+	for cmd, want := range map[string]bool{"plan": true, "run": false, "coord": false, "serve": false, "work": false} {
+		if got := has(cmd, "diff"); got != want {
+			t.Errorf("-diff on %s: got %v, want %v", cmd, got, want)
+		}
+	}
+	// The experiment-selection trio rides every planning subcommand.
+	for _, cmd := range []string{"run", "plan", "coord", "work"} {
+		for _, name := range []string{"exp", "scale", "seed"} {
+			if !has(cmd, name) {
+				t.Errorf("%s is missing -%s", cmd, name)
+			}
+		}
+	}
+}
+
+// TestWorkFlagsParseCoordArgs: the work flag set must parse exactly
+// the argv shapes coordWorkArgs and serveWorkArgs build — the cmd-side
+// half of the bulkpim round-trip tests (TestCoordWorkArgsRoundTrip,
+// TestServeWorkArgsRoundTrip).
+func TestWorkFlagsParseCoordArgs(t *testing.T) {
+	snapDir := t.TempDir()
+	fs, f := newWorkFlags(io.Discard)
+	if err := fs.Parse([]string{"-exp", "fig7", "-scale", "smoke", "-seed", "3",
+		"-snapshot-dir", snapDir, "-fail-after", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if *f.exp != "fig7" || *f.scale != "smoke" || *f.seed != 3 ||
+		*f.snapDir != snapDir || *f.failAfter != 2 {
+		t.Fatalf("round-trip skew: exp=%q scale=%q seed=%d snap=%q failAfter=%d",
+			*f.exp, *f.scale, *f.seed, *f.snapDir, *f.failAfter)
+	}
+
+	fs2, f2 := newWorkFlags(io.Discard)
+	if err := fs2.Parse([]string{"-dynamic", "-snapshot-dir", snapDir}); err != nil {
+		t.Fatal(err)
+	}
+	if !*f2.dynamic || *f2.snapDir != snapDir {
+		t.Fatalf("dynamic argv skew: dynamic=%v snap=%q", *f2.dynamic, *f2.snapDir)
+	}
+}

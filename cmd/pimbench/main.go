@@ -35,6 +35,20 @@
 // report pass is served entirely from the merged cache and is
 // byte-identical to a single-process run.
 //
+// Incremental re-plans diff a saved manifest against the current
+// build — only jobs whose fingerprint is new or changed are planned,
+// and grid points that disappeared are reported, never dropped:
+//
+//	pimbench plan -exp all -scale full -json > manifest.json
+//	# ...edit a Config parameter...
+//	pimbench plan -exp all -scale full -json -diff manifest.json
+//
+// Streaming reports (-stream on run and coord) render each figure or
+// table the moment its last job settles — settle order logs on
+// stderr, stdout stays byte-identical to the batch report:
+//
+//	pimbench run -exp all -scale full -parallel 16 -stream
+//
 // The coordinator automates the whole distributed flow on one machine
 // (and, via -worker-cmd, over ssh-style launchers): it dedups the
 // planned suite by fingerprint, dispatches individual jobs to worker
@@ -137,23 +151,7 @@ const defaultCacheDir = ".pimbench-cache"
 // runCmd executes experiments: the full plan -> execute -> report path,
 // or — with -shard — the execute-only worker half of a distributed run.
 func runCmd(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
-	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
-	verbose := fs.Bool("v", false, "log per-run progress")
-	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
-	parallel := fs.Int("parallel", 0, "concurrent simulation jobs (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
-	list := fs.Bool("list", false, "list experiments and exit")
-	csvDir := fs.String("csvdir", "", "also write figure series as CSV files into this directory")
-	cacheDir := fs.String("cache-dir", "", "persist finished grid points here and skip them on re-runs (reports are byte-identical either way)")
-	noCache := fs.Bool("no-cache", false, "disable the result cache even when -cache-dir or -resume is set")
-	resume := fs.Bool("resume", false, "resume an interrupted run from the result cache (defaults -cache-dir to "+defaultCacheDir+")")
-	snapDir := fs.String("snapshot-dir", "", "memoize generated workloads here (content-addressed) and load instead of regenerating on re-runs; shareable across a fleet")
-	shardFlag := fs.String("shard", "", "execute only shard i/n of the planned jobs (stable hash of the job key) into the cache; no reports are built")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (pprof) of the run to this file")
-	memProfile := fs.String("memprofile", "", "write a heap profile (pprof) at run end to this file")
-	gcstats := fs.String("gcstats", "", "write an allocation/GC summary (runtime.MemStats JSON) at run end to this file")
+	fs, f := newRunFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -161,31 +159,34 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *list {
+	if *f.list {
 		for _, e := range bulkpim.Experiments() {
 			fmt.Fprintln(stdout, e)
 		}
 		return 0
 	}
-	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
-		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+	if !f.validScale(stderr) {
 		return 2
 	}
 	var shard bulkpim.Shard
-	sharded := *shardFlag != ""
+	sharded := *f.shard != ""
 	if sharded {
 		var err error
-		if shard, err = bulkpim.ParseShard(*shardFlag); err != nil {
+		if shard, err = bulkpim.ParseShard(*f.shard); err != nil {
 			fmt.Fprintf(stderr, "pimbench: %v\n", err)
 			return 2
 		}
-		if *csvDir != "" {
+		if *f.csvDir != "" {
 			fmt.Fprintln(stderr, "pimbench: -csvdir is incompatible with -shard (shard runs build no reports)")
+			return 2
+		}
+		if *f.stream {
+			fmt.Fprintln(stderr, "pimbench: -stream is incompatible with -shard (shard runs build no reports)")
 			return 2
 		}
 	}
 
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := startProfiles(*f.prof.cpu, *f.prof.mem)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: profile: %v\n", err)
 		return 1
@@ -196,23 +197,24 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed, Parallelism: *parallel}
-	if *verbose {
+	opts := f.options()
+	opts.Parallelism = *f.parallel
+	if *f.verbose {
 		opts.Log = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
 
-	dir := *cacheDir
-	if *resume && dir == "" {
+	dir := *f.cacheDir
+	if *f.resume && dir == "" {
 		dir = defaultCacheDir
 	}
-	if sharded && (dir == "" || *noCache) {
+	if sharded && (dir == "" || *f.noCache) {
 		fmt.Fprintln(stderr, "pimbench: -shard needs -cache-dir (or -resume): a shard ships its results as a cache file")
 		return 2
 	}
 	var cache *bulkpim.ResultCache
-	if dir != "" && !*noCache {
+	if dir != "" && !*f.noCache {
 		var err error
 		if cache, err = bulkpim.OpenResultCache(dir); err != nil {
 			fmt.Fprintf(stderr, "pimbench: %v\n", err)
@@ -220,12 +222,12 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		}
 		defer cache.Close()
 		opts.Cache = cache
-		if *resume {
+		if *f.resume {
 			fmt.Fprintf(stderr, "pimbench: resuming from %s (%d cached points)\n",
 				cache.Path(), cache.Len())
 		}
 	}
-	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	snapFooter, err := attachSnapshots(*f.snapDir, &opts, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", err)
 		return 1
@@ -233,10 +235,13 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 
 	start := time.Now()
 	var runErr error
-	if sharded {
-		runErr = runShard(*exp, opts, shard, stderr)
-	} else {
-		runErr = runExperiments(*exp, opts, stdout, stderr)
+	switch {
+	case sharded:
+		runErr = runShard(*f.exp, opts, shard, stderr)
+	case *f.stream:
+		runErr = streamExperiments(*f.exp, opts, stdout, stderr)
+	default:
+		runErr = runExperiments(*f.exp, opts, stdout, stderr)
 	}
 	// Accounting goes to stderr even on failure: a partially-failed
 	// resumed run still reports what it skipped and recomputed.
@@ -248,20 +253,20 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pimbench: %v\n", runErr)
 		return 1
 	}
-	if *csvDir != "" {
-		if err := writeCSVs(*csvDir, *exp, opts, stderr); err != nil {
+	if *f.csvDir != "" {
+		if err := writeCSVs(*f.csvDir, *f.exp, opts, stderr); err != nil {
 			fmt.Fprintf(stderr, "pimbench: csv: %v\n", err)
 			return 1
 		}
 	}
-	if *gcstats != "" {
-		if err := writeGCStats(*gcstats); err != nil {
+	if *f.gcstats != "" {
+		if err := writeGCStats(*f.gcstats); err != nil {
 			fmt.Fprintf(stderr, "pimbench: gcstats: %v\n", err)
 			return 1
 		}
 	}
 	fmt.Fprintf(stderr, "pimbench: %s at scale %s (parallel=%d) in %s\n",
-		*exp, *scale, *parallel, time.Since(start).Round(time.Millisecond))
+		*f.exp, *f.scale, *f.parallel, time.Since(start).Round(time.Millisecond))
 	return 0
 }
 
@@ -298,37 +303,33 @@ func runShard(exp string, opts bulkpim.Options, shard bulkpim.Shard, stderr io.W
 
 // planCmd prints the deterministic job manifest — experiment, key,
 // fingerprint per planned job — without executing any simulation work.
-// -json emits the machine-readable form for external schedulers;
-// -shard filters to one shard's slice.
+// -json emits the schema-versioned manifest envelope for external
+// schedulers and later diffing; -shard filters to one shard's slice;
+// -diff OLD.json keeps only the jobs whose fingerprint the prior
+// manifest does not contain — the exact subset an incremental re-run
+// has to execute (everything else is a warm cache hit).
 func planCmd(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("pimbench plan", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to plan: "+strings.Join(bulkpim.Experiments(), ", "))
-	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
-	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
-	shardFlag := fs.String("shard", "", "print only shard i/n of the manifest")
-	asJSON := fs.Bool("json", false, "emit the manifest as JSON")
+	fs, f := newPlanFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
-		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+	if !f.validScale(stderr) {
 		return 2
 	}
 	var shard bulkpim.Shard
-	if *shardFlag != "" {
+	if *f.shard != "" {
 		var err error
-		if shard, err = bulkpim.ParseShard(*shardFlag); err != nil {
+		if shard, err = bulkpim.ParseShard(*f.shard); err != nil {
 			fmt.Fprintf(stderr, "pimbench: %v\n", err)
 			return 2
 		}
 	}
 
-	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
-	manifest, err := bulkpim.Manifest(*exp, opts)
+	opts := f.options()
+	manifest, err := bulkpim.Manifest(*f.exp, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", err)
 		return 1
@@ -337,11 +338,43 @@ func planCmd(args []string, stdout, stderr io.Writer) int {
 	// `run -shard` execution, so the printed slice is exactly the work
 	// (and the cache entries) that shard will produce.
 	manifest = bulkpim.FilterManifest(manifest, shard)
+	envelope := bulkpim.NewManifestEnvelope(*f.exp, opts, buildLine(), manifest)
 
-	if *asJSON {
+	footer := fmt.Sprintf("planned %d jobs (%s at scale %s)", len(manifest), *f.exp, *f.scale)
+	if *f.diff != "" {
+		data, err := os.ReadFile(*f.diff)
+		if err != nil {
+			fmt.Fprintf(stderr, "pimbench: diff: %v\n", err)
+			return 1
+		}
+		old, err := bulkpim.ParseManifest(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "pimbench: diff: %v\n", err)
+			return 1
+		}
+		if old.Experiment != envelope.Experiment || old.Scale != envelope.Scale || old.Seed != envelope.Seed {
+			fmt.Fprintf(stderr, "pimbench: diff: prior manifest is %s/%s/seed=%d, this plan is %s/%s/seed=%d — diffing anyway\n",
+				old.Experiment, old.Scale, old.Seed, envelope.Experiment, envelope.Scale, envelope.Seed)
+		}
+		d := bulkpim.DiffManifests(old, envelope)
+		// Removed grid points are reported, never silently dropped: a
+		// fingerprint the new plan no longer contains is stale cache the
+		// operator may want to know about.
+		for _, j := range d.Removed {
+			fmt.Fprintf(stderr, "pimbench: removed: %s\t%s\t%s\n", j.Experiment, j.Key, j.Fingerprint)
+		}
+		manifest = d.Invalidated
+		if manifest == nil {
+			manifest = []bulkpim.PlannedJob{}
+		}
+		envelope.Jobs = manifest
+		footer = fmt.Sprintf("diff vs %s: %s", *f.diff, d.Summary())
+	}
+
+	if *f.asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(manifest); err != nil {
+		if err := enc.Encode(envelope); err != nil {
 			fmt.Fprintf(stderr, "pimbench: %v\n", err)
 			return 1
 		}
@@ -350,7 +383,7 @@ func planCmd(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s\t%s\t%s\n", j.Experiment, j.Key, j.Fingerprint)
 		}
 	}
-	fmt.Fprintf(stderr, "pimbench: planned %d jobs (%s at scale %s)\n", len(manifest), *exp, *scale)
+	fmt.Fprintf(stderr, "pimbench: %s\n", footer)
 	return 0
 }
 
@@ -382,72 +415,79 @@ func mergeCmd(args []string, stdout, stderr io.Writer) int {
 // coordCmd runs the fault-tolerant coordinator: an execute-only fleet
 // run streaming results into the cache, with a live jobs-done/ETA
 // footer on stderr. Reports stay with a later warm run against the
-// same cache directory.
+// same cache directory — unless -stream, which renders each artifact
+// coordinator-side the moment its last job settles and writes the
+// assembled reports to stdout, byte-identical to that warm run.
 func coordCmd(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("pimbench coord", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: "+strings.Join(bulkpim.Experiments(), ", "))
-	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
-	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
-	workers := fs.Int("workers", 0, "worker subprocesses (0 = GOMAXPROCS)")
-	workerCmd := fs.String("worker-cmd", "", "worker launch template; {args} expands to the work-subcommand arguments (default: re-execute this binary)")
-	cacheDir := fs.String("cache-dir", "", "stream finished results into this cache directory (required)")
-	snapDir := fs.String("snapshot-dir", "", "workload snapshot store: the coordinator pre-warms the biggest databases and every worker is pointed at it")
-	verbose := fs.Bool("v", false, "log per-job progress and forward worker stderr")
-	failWorker := fs.Int("fail-worker", 0, "crash-injection test hook: which worker gets -fail-after")
-	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: kill that worker after N served jobs")
+	fs, f := newCoordFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
-		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+	if !f.validScale(stderr) {
 		return 2
 	}
-	if *cacheDir == "" {
+	if *f.cacheDir == "" {
 		fmt.Fprintln(stderr, "pimbench: coord needs -cache-dir: the coordinator streams results into a cache the report pass reads")
 		return 2
 	}
 	fmt.Fprintf(stderr, "pimbench: build: %s\n", buildLine())
 
-	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
-	if *verbose {
+	opts := f.options()
+	if *f.verbose {
 		opts.Log = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
-	cache, err := bulkpim.OpenResultCache(*cacheDir)
+	cache, err := bulkpim.OpenResultCache(*f.cacheDir)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", err)
 		return 1
 	}
 	defer cache.Close()
 	opts.Cache = cache
-	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	snapFooter, err := attachSnapshots(*f.snapDir, &opts, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", err)
 		return 1
 	}
 
 	copts := bulkpim.CoordOptions{
-		Workers:    *workers,
-		WorkerCmd:  *workerCmd,
+		Workers:    *f.fleet.workers,
+		WorkerCmd:  *f.fleet.workerCmd,
 		Progress:   stderr,
-		FailWorker: *failWorker,
-		FailAfter:  *failAfter,
+		FailWorker: *f.fleet.failWorker,
+		FailAfter:  *f.fleet.failAfter,
 	}
-	if *verbose {
+	if *f.verbose {
 		copts.WorkerStderr = stderr
 	}
-	sum, runErr := bulkpim.Coordinate(*exp, opts, copts)
+	var asm *bulkpim.StreamAssembler
+	if *f.stream {
+		if asm, err = bulkpim.NewStreamAssembler(*f.exp, stdout); err != nil {
+			fmt.Fprintf(stderr, "pimbench: %v\n", err)
+			return 2
+		}
+		copts.Stream = func(e bulkpim.StreamEmit) {
+			asm.Observe(e)
+			logStreamEmit(e, stderr)
+		}
+	}
+	sum, runErr := bulkpim.Coordinate(*f.exp, opts, copts)
 	fmt.Fprintf(stderr, "pimbench: coord: %s\n", sum)
 	fmt.Fprintf(stderr, "pimbench: cache: %s (%s)\n", cache.Stats(), cache.Path())
 	snapFooter()
 	if runErr != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", runErr)
 		return 1
+	}
+	if asm != nil {
+		if werr := asm.Err(); werr != nil {
+			fmt.Fprintf(stderr, "pimbench: stream write: %v\n", werr)
+			return 1
+		}
 	}
 	return 0
 }
@@ -456,57 +496,47 @@ func coordCmd(args []string, stdout, stderr io.Writer) int {
 // result cache and a persistent elastic worker fleet. SIGINT/SIGTERM
 // shut it down gracefully (in-flight jobs finish, queued ones fail).
 func serveCmd(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("pimbench serve", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
-	cacheDir := fs.String("cache-dir", "", "result cache directory the daemon serves from and writes back into (required)")
-	snapDir := fs.String("snapshot-dir", "", "workload snapshot store shared with the worker fleet")
-	workers := fs.Int("workers", 0, "initial worker fleet size and auto-replace target (0 = 2)")
-	workerCmd := fs.String("worker-cmd", "", "worker launch template; {args} expands to the work-subcommand arguments (default: re-execute this binary)")
-	local := fs.Bool("local", false, "execute in-process instead of spawning worker subprocesses")
-	verbose := fs.Bool("v", false, "log requests, fleet events and forward worker stderr")
-	failWorker := fs.Int("fail-worker", 0, "crash-injection test hook: which initial worker gets -fail-after")
-	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: kill that worker after N served jobs")
+	fs, f := newServeFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	if *cacheDir == "" {
+	if *f.cacheDir == "" {
 		fmt.Fprintln(stderr, "pimbench: serve needs -cache-dir: the daemon is a results CDN over a shared result cache")
 		return 2
 	}
 	fmt.Fprintf(stderr, "pimbench: build: %s\n", buildLine())
 
 	var opts bulkpim.Options
-	if *verbose {
+	if *f.verbose {
 		opts.Log = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
-	cache, err := bulkpim.OpenResultCache(*cacheDir)
+	cache, err := bulkpim.OpenResultCache(*f.cacheDir)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", err)
 		return 1
 	}
 	defer cache.Close()
 	opts.Cache = cache
-	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	snapFooter, err := attachSnapshots(*f.snapDir, &opts, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", err)
 		return 1
 	}
 
 	sopts := bulkpim.ServerOptions{
-		Addr:       *addr,
-		Workers:    *workers,
-		WorkerCmd:  *workerCmd,
-		Local:      *local,
-		FailWorker: *failWorker,
-		FailAfter:  *failAfter,
+		Addr:       *f.addr,
+		Workers:    *f.fleet.workers,
+		WorkerCmd:  *f.fleet.workerCmd,
+		Local:      *f.local,
+		FailWorker: *f.fleet.failWorker,
+		FailAfter:  *f.fleet.failAfter,
 	}
-	if *verbose {
+	if *f.verbose {
 		sopts.WorkerStderr = stderr
 	}
 	srv, err := bulkpim.NewServer(opts, sopts)
@@ -547,28 +577,17 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 // serve` spawn: it speaks the line-delimited JSON protocol on
 // stdin/stdout (stdout carries nothing else) and logs on stderr.
 func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("pimbench work", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to serve")
-	scale := fs.String("scale", "quick", "measurement scale: smoke | bench | quick | medium | full")
-	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
-	dynamic := fs.Bool("dynamic", false, "serve-fleet mode: plan per job spec instead of per startup flags (-exp/-scale/-seed are ignored)")
-	snapDir := fs.String("snapshot-dir", "", "workload snapshot store shared with the coordinator and sibling workers")
-	verbose := fs.Bool("v", false, "log served jobs on stderr")
-	failAfter := fs.Int("fail-after", 0, "crash-injection test hook: exit 3 when job N+1 arrives")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (pprof) of this worker to this file")
-	memProfile := fs.String("memprofile", "", "write a heap profile (pprof) at worker exit to this file")
+	fs, f := newWorkFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	if !bulkpim.ValidScale(bulkpim.Scale(*scale)) {
-		fmt.Fprintf(stderr, "pimbench: unknown scale %q (have %v)\n", *scale, bulkpim.Scales())
+	if !f.validScale(stderr) {
 		return 2
 	}
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := startProfiles(*f.prof.cpu, *f.prof.mem)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: profile: %v\n", err)
 		return 1
@@ -579,23 +598,23 @@ func workCmd(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}()
 	fmt.Fprintf(stderr, "pimbench: build: %s\n", buildLine())
-	opts := bulkpim.Options{Scale: bulkpim.Scale(*scale), Seed: *seed}
-	if *verbose {
+	opts := f.options()
+	if *f.verbose {
 		opts.Log = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
-	snapFooter, err := attachSnapshots(*snapDir, &opts, stderr)
+	snapFooter, err := attachSnapshots(*f.snapDir, &opts, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "pimbench: %v\n", err)
 		return 1
 	}
 	defer snapFooter()
 	var workErr error
-	if *dynamic {
-		workErr = bulkpim.ServeDynamicWork(opts, stdin, stdout, *failAfter)
+	if *f.dynamic {
+		workErr = bulkpim.ServeDynamicWork(opts, stdin, stdout, *f.failAfter)
 	} else {
-		workErr = bulkpim.ServeWork(*exp, opts, stdin, stdout, *failAfter)
+		workErr = bulkpim.ServeWork(*f.exp, opts, stdin, stdout, *f.failAfter)
 	}
 	if workErr != nil {
 		fmt.Fprintf(stderr, "pimbench: work: %v\n", workErr)
@@ -677,6 +696,31 @@ func runExperiments(exp string, opts bulkpim.Options, stdout, stderr io.Writer) 
 		fmt.Fprintf(stderr, "pimbench: %s in %s\n", name, d.Round(time.Millisecond))
 	})
 	fmt.Fprintf(stderr, "pimbench: %s\n", bulkpim.TimingFooter(timings))
+	return err
+}
+
+// logStreamEmit prints one artifact emission's settle-order line on
+// stderr — the wall-clock evidence that figures stream out before the
+// suite finishes (stdout carries only the byte-stable reports).
+func logStreamEmit(e bulkpim.StreamEmit, stderr io.Writer) {
+	if e.Err != nil {
+		fmt.Fprintf(stderr, "pimbench: artifact %s/%s failed: %v\n", e.Experiment, e.Artifact, e.Err)
+		return
+	}
+	fmt.Fprintf(stderr, "pimbench: artifact %s/%s ready (settled #%d)\n", e.Experiment, e.Artifact, e.Seq+1)
+}
+
+// streamExperiments is runExperiments with -stream: artifacts render
+// the moment their last job settles and reach stdout incrementally in
+// canonical order, byte-identical to the batch report for a successful
+// run.
+func streamExperiments(exp string, opts bulkpim.Options, stdout, stderr io.Writer) error {
+	timings, err := bulkpim.StreamReport(exp, opts, func(e bulkpim.StreamEmit) {
+		logStreamEmit(e, stderr)
+	}, stdout)
+	if len(timings) > 0 {
+		fmt.Fprintf(stderr, "pimbench: %s\n", bulkpim.TimingFooter(timings))
+	}
 	return err
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -469,29 +470,123 @@ func TestPlanText(t *testing.T) {
 	}
 }
 
-// TestPlanJSON: -json emits the machine-readable manifest for external
-// schedulers.
+// TestPlanJSON: -json emits the schema-versioned manifest envelope —
+// version stamps first (so an old-build manifest fails a later diff
+// loudly), then the machine-readable job list.
 func TestPlanJSON(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"plan", "-exp", "fig3", "-scale", "smoke", "-json"},
 		nil, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
-	var manifest []struct {
-		Experiment  string `json:"experiment"`
-		Key         string `json:"key"`
-		Fingerprint string `json:"fingerprint"`
+	var env struct {
+		Version    string `json:"manifest_version"`
+		Schema     string `json:"schema_version"`
+		Build      string `json:"build"`
+		Experiment string `json:"experiment"`
+		Scale      string `json:"scale"`
+		Jobs       []struct {
+			Experiment  string `json:"experiment"`
+			Key         string `json:"key"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"jobs"`
 	}
-	if err := json.Unmarshal(stdout.Bytes(), &manifest); err != nil {
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
 		t.Fatalf("manifest is not JSON: %v\n%s", err, stdout.String())
 	}
-	if len(manifest) == 0 {
+	if env.Version != "bulkpim-manifest-v1" {
+		t.Fatalf("manifest_version %q", env.Version)
+	}
+	if env.Schema == "" || env.Build == "" {
+		t.Fatalf("missing version stamps: schema %q build %q", env.Schema, env.Build)
+	}
+	if env.Experiment != "fig3" || env.Scale != "smoke" {
+		t.Fatalf("envelope identity %s/%s", env.Experiment, env.Scale)
+	}
+	if len(env.Jobs) == 0 {
 		t.Fatal("empty manifest")
 	}
-	for _, j := range manifest {
+	for _, j := range env.Jobs {
 		if j.Experiment != "fig3" || !strings.HasPrefix(j.Key, "ycsb/") || len(j.Fingerprint) != 32 {
 			t.Fatalf("bad manifest entry %+v", j)
 		}
+	}
+	// The envelope round-trips through the diff loader: a self-diff is
+	// empty.
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/m.json", stdout.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var dout, derr bytes.Buffer
+	if code := run([]string{"plan", "-exp", "fig3", "-scale", "smoke", "-json", "-diff", dir + "/m.json"},
+		nil, &dout, &derr); code != 0 {
+		t.Fatalf("diff exit %d, stderr:\n%s", code, derr.String())
+	}
+	var denv struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.Unmarshal(dout.Bytes(), &denv); err != nil {
+		t.Fatalf("diff manifest is not JSON: %v\n%s", err, dout.String())
+	}
+	if len(denv.Jobs) != 0 {
+		t.Fatalf("self-diff planned %d jobs, want 0\n%s", len(denv.Jobs), derr.String())
+	}
+	if !strings.Contains(derr.String(), "0 invalidated") {
+		t.Fatalf("diff summary missing:\n%s", derr.String())
+	}
+}
+
+// TestPlanDiff drives the incremental re-plan end to end: a seed
+// change invalidates every fingerprint (and reports the prior ones as
+// removed), while a legacy bare-array manifest is rejected loudly
+// instead of diffing as "nothing to do".
+func TestPlanDiff(t *testing.T) {
+	dir := t.TempDir()
+	var m1 bytes.Buffer
+	var stderr bytes.Buffer
+	if code := run([]string{"plan", "-exp", "fig13", "-scale", "smoke", "-json"},
+		nil, &m1, &stderr); code != 0 {
+		t.Fatalf("plan exit %d, stderr:\n%s", code, stderr.String())
+	}
+	old := dir + "/old.json"
+	if err := os.WriteFile(old, m1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different seed: every fingerprint changes, so the diff re-plans
+	// the full experiment and reports every prior job as removed.
+	var dout, derr bytes.Buffer
+	if code := run([]string{"plan", "-exp", "fig13", "-scale", "smoke", "-seed", "7", "-diff", old},
+		nil, &dout, &derr); code != 0 {
+		t.Fatalf("diff exit %d, stderr:\n%s", code, derr.String())
+	}
+	var full bytes.Buffer
+	if code := run([]string{"plan", "-exp", "fig13", "-scale", "smoke", "-seed", "7"},
+		nil, &full, io.Discard); code != 0 {
+		t.Fatal("full plan failed")
+	}
+	if dout.String() != full.String() {
+		t.Fatalf("seed-change diff should re-plan everything:\n%s\nvs\n%s", dout.String(), full.String())
+	}
+	se := derr.String()
+	if !strings.Contains(se, "seed=0") || !strings.Contains(se, "seed=7") {
+		t.Fatalf("missing identity-mismatch warning:\n%s", se)
+	}
+	if got := strings.Count(se, "pimbench: removed: fig13\t"); got != strings.Count(full.String(), "\n") {
+		t.Fatalf("%d removed lines, want %d:\n%s", got, strings.Count(full.String(), "\n"), se)
+	}
+
+	// A legacy bare-array manifest (pre-envelope build) fails loudly.
+	if err := os.WriteFile(dir+"/legacy.json", []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var lout, lerr bytes.Buffer
+	if code := run([]string{"plan", "-exp", "fig13", "-scale", "smoke", "-diff", dir + "/legacy.json"},
+		nil, &lout, &lerr); code != 1 {
+		t.Fatalf("legacy diff exit %d, want 1\n%s", code, lerr.String())
+	}
+	if !strings.Contains(lerr.String(), "older pimbench build") {
+		t.Fatalf("legacy manifest error not loud:\n%s", lerr.String())
 	}
 }
 
@@ -589,5 +684,70 @@ func TestVersion(t *testing.T) {
 	stdout.Reset()
 	if code := run([]string{"version", "-bogus"}, nil, &stdout, &stderr); code != 2 {
 		t.Fatalf("version -bogus: exit code %d, want 2", code)
+	}
+}
+
+// TestRunStream is the streaming acceptance gate from the binary's
+// side: `run -stream` must write stdout byte-identical to the batch
+// report while logging each artifact's settle order on stderr — one
+// line per declared artifact, suite-wide.
+func TestRunStream(t *testing.T) {
+	var batch, batchErr bytes.Buffer
+	if code := run([]string{"-exp", "all", "-scale", "smoke"}, nil, &batch, &batchErr); code != 0 {
+		t.Fatalf("batch exit %d, stderr:\n%s", code, batchErr.String())
+	}
+	var stream, streamErr bytes.Buffer
+	if code := run([]string{"-exp", "all", "-scale", "smoke", "-stream"}, nil, &stream, &streamErr); code != 0 {
+		t.Fatalf("stream exit %d, stderr:\n%s", code, streamErr.String())
+	}
+	if batch.String() != stream.String() {
+		t.Fatalf("streamed stdout diverges from the batch report:\n--- batch ---\n%s\n--- stream ---\n%s",
+			batch.String(), stream.String())
+	}
+	se := streamErr.String()
+	if got := strings.Count(se, "pimbench: artifact "); got != 18 {
+		t.Fatalf("%d artifact settle lines, want 18 (one per declared artifact):\n%s", got, se)
+	}
+	for _, a := range []string{"fig7/fig10", "fig8/fig9", "table2/table2"} {
+		if !strings.Contains(se, "pimbench: artifact "+a+" ready") {
+			t.Fatalf("missing settle line for %s:\n%s", a, se)
+		}
+	}
+	if !strings.Contains(se, "timing (overlapping):") {
+		t.Fatalf("stream run lost the timing footer:\n%s", se)
+	}
+	// -stream is report machinery; a reportless shard run must reject it.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "all", "-scale", "smoke", "-stream",
+		"-shard", "0/2", "-cache-dir", t.TempDir()}, nil, &out, &errb); code != 2 {
+		t.Fatalf("-stream -shard: exit %d, want 2:\n%s", code, errb.String())
+	}
+}
+
+// TestCoordStream: a coordinated fleet run with -stream renders the
+// figures coordinator-side as worker results settle, and the assembled
+// stdout is byte-identical to a plain single-process run.
+func TestCoordStream(t *testing.T) {
+	t.Setenv("PIMBENCH_EXEC", "1")
+	var plain, plainErr bytes.Buffer
+	if code := run([]string{"-exp", "fig8", "-scale", "smoke"}, nil, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain exit %d, stderr:\n%s", code, plainErr.String())
+	}
+	var stdout bytes.Buffer
+	var stderr syncBuffer
+	code := run([]string{"coord", "-workers", "2", "-exp", "fig8", "-scale", "smoke",
+		"-stream", "-cache-dir", t.TempDir()}, nil, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("coord exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if stdout.String() != plain.String() {
+		t.Fatalf("coord -stream stdout diverges from a plain run:\n--- plain ---\n%s\n--- coord ---\n%s",
+			plain.String(), stdout.String())
+	}
+	se := stderr.String()
+	for _, a := range []string{"fig8/fig8", "fig8/fig9"} {
+		if !strings.Contains(se, "pimbench: artifact "+a+" ready") {
+			t.Fatalf("missing settle line for %s:\n%s", a, se)
+		}
 	}
 }

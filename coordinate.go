@@ -45,6 +45,12 @@ type CoordOptions struct {
 	// next job in flight, which the coordinator must retry elsewhere.
 	FailWorker int
 	FailAfter  int
+	// Stream, when non-nil, receives each artifact emission the moment
+	// its last planned job settles (see ReportStream): the coordinated
+	// run renders figures coordinator-side from worker results instead
+	// of deferring everything to a warm report pass. Workers stay
+	// execute-only. Calls arrive serialized.
+	Stream func(StreamEmit)
 }
 
 // CoordSummary accounts one coordinated run.
@@ -149,6 +155,17 @@ func Coordinate(name string, opts Options, copts CoordOptions) (CoordSummary, er
 		keysOf[g.fp] = g.keys
 	}
 
+	// The streaming countdown listens on the same alias keys the cache
+	// writes below fan out to, so artifacts complete exactly when their
+	// last distinct simulation settles — including ones whose keys this
+	// experiment shares with a sibling's fingerprint group.
+	var stream *ReportStream
+	if copts.Stream != nil {
+		if stream, err = NewReportStream(name, opts, copts.Stream); err != nil {
+			return sum, err
+		}
+	}
+
 	// Pre-warm the snapshot store before any worker launches: the
 	// biggest databases this plan references are published once by the
 	// coordinator, so the fleet — sharing the store's filesystem —
@@ -190,6 +207,11 @@ func Coordinate(name string, opts Options, copts CoordOptions) (CoordSummary, er
 	onResult := func(done, total int, o coord.Outcome) {
 		if o.Err != nil {
 			logf("[%d/%d] %s FAILED: %v", done, total, o.Task.Key, o.Err)
+			if stream != nil {
+				for _, key := range keysOf[o.Task.Fingerprint] {
+					stream.Settle(key, Result{}, o.Err)
+				}
+			}
 			return
 		}
 		for _, key := range keysOf[o.Task.Fingerprint] {
@@ -197,6 +219,11 @@ func Coordinate(name string, opts Options, copts CoordOptions) (CoordSummary, er
 				logf("cache store %s: %v", key, err)
 			} else {
 				sum.Stored++
+			}
+		}
+		if stream != nil {
+			for _, key := range keysOf[o.Task.Fingerprint] {
+				stream.Settle(key, o.Value, nil)
 			}
 		}
 		logf("[%d/%d] %s done on worker %d (attempt %d)",

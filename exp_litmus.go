@@ -69,18 +69,30 @@ func planFig1() []SimJob {
 	return specs
 }
 
+// fig1Keys enumerates the litmus sweep's job keys, one per model.
+func fig1Keys() []string {
+	out := make([]string, len(fig1Models))
+	for i, m := range fig1Models {
+		out[i] = fig1Key(m)
+	}
+	return out
+}
+
 func fig1Spec() ExperimentSpec {
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: "fig1",
 		Plan: func(opts Options) ([]SimJob, error) { return planFig1(), nil },
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+	}
+	s.Artifacts, s.Render = singleArtifact("fig1",
+		func(Options) []string { return fig1Keys() },
+		func(opts Options, rs *ResultSet) (string, error) {
 			t, err := fig1TableFrom(opts, rs)
 			if err != nil {
 				return "", err
 			}
 			return render(t), nil
-		},
-	}
+		})
+	return s
 }
 
 // fig1TableFrom tabulates the verdicts (§I / Fig. 1).

@@ -16,14 +16,15 @@ import (
 	"bulkpim/internal/workload/ycsb"
 )
 
-// tableSpec wraps a job-less, options-independent table artifact.
+// tableSpec wraps a job-less, options-independent table artifact. Its
+// key set is empty, so a streaming run emits it immediately.
 func tableSpec(name string, build func() *Table) ExperimentSpec {
-	return ExperimentSpec{
-		Name: name,
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+	s := ExperimentSpec{Name: name}
+	s.Artifacts, s.Render = singleArtifact(name, nil,
+		func(Options, *ResultSet) (string, error) {
 			return render(build()), nil
-		},
-	}
+		})
+	return s
 }
 
 // TableITable renders the paper's Table I.
@@ -162,17 +163,26 @@ func ablationTableFrom(opts Options, rs *ResultSet) (*Table, error) {
 }
 
 func ablationSpec() ExperimentSpec {
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: "ablation",
 		Plan: func(opts Options) ([]SimJob, error) { return planAblation(opts), nil },
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+	}
+	s.Artifacts, s.Render = singleArtifact("ablation",
+		func(Options) []string {
+			keys := make([]string, len(ablationVariants))
+			for i, v := range ablationVariants {
+				keys[i] = "ablation/" + v.name
+			}
+			return keys
+		},
+		func(opts Options, rs *ResultSet) (string, error) {
 			t, err := ablationTableFrom(opts, rs)
 			if err != nil {
 				return "", err
 			}
 			return render(t), nil
-		},
-	}
+		})
+	return s
 }
 
 // AblationTable quantifies the coherence hardware of §IV (see
@@ -237,17 +247,26 @@ func sbsizeTableFrom(opts Options, rs *ResultSet) (*Table, error) {
 }
 
 func sbsizeSpec() ExperimentSpec {
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: "sbsize",
 		Plan: func(opts Options) ([]SimJob, error) { return planSBSize(opts), nil },
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+	}
+	s.Artifacts, s.Render = singleArtifact("sbsize",
+		func(Options) []string {
+			keys := make([]string, len(sbGeometries))
+			for i, g := range sbGeometries {
+				keys[i] = fmt.Sprintf("sbsize/%dx%d", g.sets, g.ways)
+			}
+			return keys
+		},
+		func(opts Options, rs *ResultSet) (string, error) {
 			t, err := sbsizeTableFrom(opts, rs)
 			if err != nil {
 				return "", err
 			}
 			return render(t), nil
-		},
-	}
+		})
+	return s
 }
 
 // ScopeBufferSizingTable reproduces the §IV-A sizing claim: "even a
@@ -310,17 +329,26 @@ func multimodTableFrom(opts Options, rs *ResultSet) (*Table, error) {
 }
 
 func multimodSpec() ExperimentSpec {
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: "multimod",
 		Plan: func(opts Options) ([]SimJob, error) { return planMultiModule(opts), nil },
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+	}
+	s.Artifacts, s.Render = singleArtifact("multimod",
+		func(Options) []string {
+			keys := make([]string, len(multimodCounts))
+			for i, n := range multimodCounts {
+				keys[i] = fmt.Sprintf("multimod/n=%d", n)
+			}
+			return keys
+		},
+		func(opts Options, rs *ResultSet) (string, error) {
 			t, err := multimodTableFrom(opts, rs)
 			if err != nil {
 				return "", err
 			}
 			return render(t), nil
-		},
-	}
+		})
+	return s
 }
 
 // MultiModuleTable is an extension experiment: scopes distributed over N

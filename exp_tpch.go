@@ -120,6 +120,26 @@ func planFig9YCSB(opts Options) []SimJob {
 	return specs
 }
 
+// tpchKeys enumerates the TPC-H grid's job keys for the given models.
+func tpchKeys(models []Model) []string {
+	var out []string
+	for _, q := range tpch.Queries() {
+		for _, m := range models {
+			out = append(out, tpchKey(q.Name, m))
+		}
+	}
+	return out
+}
+
+// fig9YCSBKeys enumerates the Fig. 9 YCSB-column job keys.
+func fig9YCSBKeys() []string {
+	var out []string
+	for _, m := range ProposedModels() {
+		out = append(out, fig9YCSBKey(m))
+	}
+	return out
+}
+
 func fig8Spec() ExperimentSpec {
 	return ExperimentSpec{
 		Name:    "fig8",
@@ -127,16 +147,32 @@ func fig8Spec() ExperimentSpec {
 		Plan: func(opts Options) ([]SimJob, error) {
 			return append(planTPCH(opts, fig7Variants), planFig9YCSB(opts)...), nil
 		},
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+		// fig9's hit rates come from the same TPC-H runs as fig8 (its
+		// table builder normalizes against the full grid, Naive
+		// included), plus the dedicated YCSB-column batch.
+		Artifacts: func(opts Options) []Artifact {
+			tk := tpchKeys(fig7Variants)
+			return []Artifact{
+				{Name: "fig8", Keys: tk},
+				{Name: "fig9", Keys: append(append([]string{}, tk...), fig9YCSBKeys()...)},
+			}
+		},
+		Render: func(opts Options, artifact string, rs *ResultSet) (string, error) {
 			f8, f9, err := fig8fig9Tables(opts, rs)
 			if err != nil {
 				return "", err
 			}
-			y, err := fig9YCSBTable(rs)
-			if err != nil {
-				return "", err
+			switch artifact {
+			case "fig8":
+				return render(f8), nil
+			case "fig9":
+				y, err := fig9YCSBTable(rs)
+				if err != nil {
+					return "", err
+				}
+				return render(f9, y), nil
 			}
-			return render(f8, f9, y), nil
+			return "", fmt.Errorf("fig8: unknown artifact %q", artifact)
 		},
 	}
 }

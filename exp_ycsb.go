@@ -4,9 +4,10 @@ package bulkpim
 // (the six variants plus system statistics), Fig. 11a/b (harness
 // ablations), Fig. 12 (8MB LLC) and Fig. 13 (8 threads / 16 cores).
 // Each is an ExperimentSpec whose Plan enumerates (records x model)
-// grid points and whose Report folds looked-up results into series.
-// The grid — key format included — is the contract between the two
-// phases: both enumerate it through ycsbGrid, so they cannot drift.
+// grid points and whose artifacts fold looked-up results into series.
+// The grid — key format included — is the contract between the
+// phases: Plan, Artifacts and Render all enumerate it through
+// ycsbGrid, so jobs, countdown key sets and lookups cannot drift.
 
 import (
 	"fmt"
@@ -142,6 +143,16 @@ type RunRecord struct {
 	Result  Result
 }
 
+// gridKeys projects a grid onto its job keys — the per-artifact key
+// set the streaming countdown tracks.
+func gridKeys(grid []ycsbPoint) []string {
+	out := make([]string, len(grid))
+	for i, pt := range grid {
+		out[i] = pt.Key
+	}
+	return out
+}
+
 // gridRecords folds a grid's looked-up results into RunRecords,
 // skipping points whose job failed (absent from the set).
 func gridRecords(grid []ycsbPoint, rs *ResultSet) []RunRecord {
@@ -225,19 +236,24 @@ func planFig3(opts Options) []SimJob {
 }
 
 func fig3Spec() ExperimentSpec {
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: "fig3",
 		Plan: func(opts Options) ([]SimJob, error) {
 			return planFig3(opts), nil
 		},
-		Report: func(opts Options, rs *ResultSet) (string, error) {
-			s, err := fig3Series(opts, rs)
+	}
+	s.Artifacts, s.Render = singleArtifact("fig3",
+		func(opts Options) []string {
+			return gridKeys(ycsbGrid(opts, "ycsb", fig3Variants, nil))
+		},
+		func(opts Options, rs *ResultSet) (string, error) {
+			sr, err := fig3Series(opts, rs)
 			if err != nil {
 				return "", err
 			}
-			return render(s), nil
-		},
-	}
+			return render(sr), nil
+		})
+	return s
 }
 
 func fig3Series(opts Options, rs *ResultSet) (*Series, error) {
@@ -325,18 +341,34 @@ func planFig7(opts Options) []SimJob {
 }
 
 func fig7Spec() ExperimentSpec {
+	keys := func(opts Options) []string {
+		return gridKeys(ycsbGrid(opts, "ycsb", fig7Variants, nil))
+	}
 	return ExperimentSpec{
 		Name:    "fig7",
 		Bundles: []string{"fig10"},
 		Plan: func(opts Options) ([]SimJob, error) {
 			return planFig7(opts), nil
 		},
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+		// Both artifacts fold the whole sweep (Fig. 10's statistics are
+		// cut against the same Naive baselines), so they share one key
+		// set and stream out together when the sweep settles.
+		Artifacts: func(opts Options) []Artifact {
+			ks := keys(opts)
+			return []Artifact{{Name: "fig7", Keys: ks}, {Name: "fig10", Keys: ks}}
+		},
+		Render: func(opts Options, artifact string, rs *ResultSet) (string, error) {
 			f, err := buildYCSBFigures(opts, "Fig7", gridRecords(ycsbGrid(opts, "ycsb", fig7Variants, nil), rs))
 			if err != nil {
 				return "", err
 			}
-			return render(f.Abs, f.Norm, f.BufLen, f.UniqueScopes, f.ScanLatency, f.SkipRatio), nil
+			switch artifact {
+			case "fig7":
+				return render(f.Abs, f.Norm), nil
+			case "fig10":
+				return render(f.BufLen, f.UniqueScopes, f.ScanLatency, f.SkipRatio), nil
+			}
+			return "", fmt.Errorf("fig7: unknown artifact %q", artifact)
 		},
 	}
 }
@@ -366,19 +398,27 @@ func planFigModified(opts Options, prefix string, modify func(*Config)) []SimJob
 // against the "basic-naive" baseline series.
 func figModifiedSpec(name string, modify func(*Config)) ExperimentSpec {
 	prefix := strings.ToLower(name)
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: prefix,
 		Plan: func(opts Options) ([]SimJob, error) {
 			return planFigModified(opts, prefix, modify), nil
 		},
-		Report: func(opts Options, rs *ResultSet) (string, error) {
-			s, err := figModifiedSeries(opts, name, rs)
+	}
+	s.Artifacts, s.Render = singleArtifact(prefix,
+		func(opts Options) []string {
+			// The modified sweep plus the base-config Naive reference —
+			// the same two grids planFigModified enumerates.
+			return append(gridKeys(ycsbGrid(opts, prefix, fig7Variants, nil)),
+				gridKeys(ycsbGrid(opts, "ycsb", []Model{Naive}, nil))...)
+		},
+		func(opts Options, rs *ResultSet) (string, error) {
+			sr, err := figModifiedSeries(opts, name, rs)
 			if err != nil {
 				return "", err
 			}
-			return render(s), nil
-		},
-	}
+			return render(sr), nil
+		})
+	return s
 }
 
 func figModifiedSeries(opts Options, name string, rs *ResultSet) (*Series, error) {
@@ -447,19 +487,24 @@ func planFig12(opts Options) []SimJob {
 }
 
 func fig12Spec() ExperimentSpec {
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: "fig12",
 		Plan: func(opts Options) ([]SimJob, error) {
 			return planFig12(opts), nil
 		},
-		Report: func(opts Options, rs *ResultSet) (string, error) {
+	}
+	s.Artifacts, s.Render = singleArtifact("fig12",
+		func(opts Options) []string {
+			return gridKeys(ycsbGrid(opts, "fig12", fig7Variants, nil))
+		},
+		func(opts Options, rs *ResultSet) (string, error) {
 			f, err := buildYCSBFigures(opts, "Fig12", gridRecords(ycsbGrid(opts, "fig12", fig7Variants, nil), rs))
 			if err != nil {
 				return "", err
 			}
 			return render(f.Norm, f.ScanLatency, f.SkipRatio), nil
-		},
-	}
+		})
+	return s
 }
 
 // Fig12 reproduces the 8MB-LLC experiment: run time plus the scan-latency
@@ -482,19 +527,24 @@ func planFig13(opts Options) []SimJob {
 }
 
 func fig13Spec() ExperimentSpec {
-	return ExperimentSpec{
+	s := ExperimentSpec{
 		Name: "fig13",
 		Plan: func(opts Options) ([]SimJob, error) {
 			return planFig13(opts), nil
 		},
-		Report: func(opts Options, rs *ResultSet) (string, error) {
-			s, err := fig13Series(opts, rs)
+	}
+	s.Artifacts, s.Render = singleArtifact("fig13",
+		func(opts Options) []string {
+			return gridKeys(ycsbGrid(opts, "fig13", fig7Variants, fig13Params))
+		},
+		func(opts Options, rs *ResultSet) (string, error) {
+			sr, err := fig13Series(opts, rs)
 			if err != nil {
 				return "", err
 			}
-			return render(s), nil
-		},
-	}
+			return render(sr), nil
+		})
+	return s
 }
 
 func fig13Series(opts Options, rs *ResultSet) (*Series, error) {

@@ -93,6 +93,11 @@ type Options struct {
 	// suite-wide scheduling).
 	pool   *runner.Pool
 	flight *runner.Flight[Result]
+	// onSettle, when non-nil, observes every job settlement (key,
+	// result, error) as it lands — the streaming-report hook wired by
+	// StreamReport. It is invoked from runner callbacks, possibly for
+	// several experiments at once, so it must be goroutine-safe.
+	onSettle func(key string, r Result, jobErr error)
 }
 
 func (o Options) log(format string, args ...interface{}) {
@@ -118,6 +123,9 @@ func (o Options) runnerOpts() runner.Options[Result] {
 		Pool:        o.pool,
 		Flight:      o.flight,
 		OnResult: func(done, total int, r runner.JobResult[Result]) {
+			if o.onSettle != nil {
+				o.onSettle(r.Key, r.Value, r.Err)
+			}
 			if r.Err != nil {
 				o.log("[%d/%d] %s FAILED: %v", done, total, r.Key, r.Err)
 				return

@@ -111,19 +111,19 @@ type Core struct {
 
 	// Hoisted event callbacks and completion functions, built once in
 	// NewCore.
-	stepFn        func(any)
-	wakeFn        func(any)
-	drainFn       func(any)
-	fwdPIMFn      func(any)
-	directFn      func(any)
-	uncLoadDone   func(*mem.Request, any) // stage 1: hop back over Reply
-	uncLoadFin    func(any)               // stage 2: core-side completion
-	uncBurstDone  func(*mem.Request, any)
-	uncBurstFin   func(any)
-	uncStoreDone  func(*mem.Request, any)
-	uncStoreFin   func(any)
-	flushDoneFn   func(*mem.Request, any)
-	fenceDoneFn   func(*mem.Request, any)
+	stepFn       func(any)
+	wakeFn       func(any)
+	drainFn      func(any)
+	fwdPIMFn     func(any)
+	directFn     func(any)
+	uncLoadDone  func(*mem.Request, any) // stage 1: hop back over Reply
+	uncLoadFin   func(any)               // stage 2: core-side completion
+	uncBurstDone func(*mem.Request, any)
+	uncBurstFin  func(any)
+	uncStoreDone func(*mem.Request, any)
+	uncStoreFin  func(any)
+	flushDoneFn  func(*mem.Request, any)
+	fenceDoneFn  func(*mem.Request, any)
 
 	// Stats.
 	Instrs      stats.Counter

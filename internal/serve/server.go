@@ -28,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -82,6 +83,55 @@ type Point struct {
 	Aliases     []string
 }
 
+// ExperimentInfo is one registry entry in the GET /v1/experiments
+// catalog: the experiment's canonical name, the bundled aliases that
+// resolve to it, and the artifacts it renders.
+type ExperimentInfo struct {
+	Name      string   `json:"name"`
+	Bundles   []string `json:"bundles,omitempty"`
+	Artifacts []string `json:"artifacts"`
+}
+
+// ArtifactSpec is one renderable artifact of a resolved request: its
+// owning experiment, its name, and the exact job-key set it needs —
+// the per-artifact contract the streaming report path counts down.
+type ArtifactSpec struct {
+	Experiment string
+	Name       string
+	Keys       []string
+}
+
+// JobArtifact is a job's per-artifact settlement progress on the wire:
+// how many of the artifact's keys the job has settled successfully,
+// and whether every key is in — at which point the artifact is
+// renderable from results alone.
+type JobArtifact struct {
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+	Keys       int    `json:"keys"`
+	Settled    int    `json:"settled"`
+	Ready      bool   `json:"ready"`
+}
+
+// ArtifactStatus is the GET /v1/artifacts/{name} payload: one
+// artifact's readiness against the result cache, with its rendered
+// output once every key it needs has settled.
+type ArtifactStatus struct {
+	Artifact   string   `json:"artifact"`
+	Experiment string   `json:"experiment"`
+	Scale      string   `json:"scale"`
+	Seed       uint64   `json:"seed,omitempty"`
+	Keys       int      `json:"keys"`
+	Settled    int      `json:"settled"`
+	Ready      bool     `json:"ready"`
+	Output     string   `json:"output,omitempty"`
+	Missing    []string `json:"missing,omitempty"`
+}
+
+// ErrUnknownArtifact marks an artifact-status request for a name no
+// registry spec declares; the handler maps it to 404.
+var ErrUnknownArtifact = errors.New("unknown artifact")
+
 // Backend is everything the HTTP surface delegates: planning, the
 // result cache, execution, and fleet management. Hooks run outside the
 // server's lock except Lookup — a cheap in-memory cache read invoked
@@ -100,6 +150,18 @@ type Backend struct {
 	// once with its outcome. The server guarantees at most one live
 	// Exec per fingerprint fleet-wide.
 	Exec func(req JobRequest, p Point, done func(system.Result, error))
+	// Experiments lists the registry catalog for GET /v1/experiments;
+	// nil answers 501.
+	Experiments func() []ExperimentInfo
+	// Artifacts resolves a request's renderable artifacts and their key
+	// sets; job documents then report per-artifact settlement progress.
+	// Optional: a nil hook (or an error) just omits artifact progress.
+	Artifacts func(req JobRequest) ([]ArtifactSpec, error)
+	// ArtifactStatus answers GET /v1/artifacts/{name} against the
+	// result cache: readiness, missing keys, and the rendered output
+	// once complete. Wrap ErrUnknownArtifact for unknown names; nil
+	// answers 501.
+	ArtifactStatus func(name string, req JobRequest) (ArtifactStatus, error)
 	// Fleet snapshots the worker pool for /v1/healthz and /v1/stats.
 	Fleet func() coord.PoolStats
 	// AddWorker and RemoveWorker serve POST /v1/workers elasticity.
@@ -121,10 +183,11 @@ type pointState struct {
 
 // job is one submitted request and its settlement progress.
 type job struct {
-	id      string
-	req     JobRequest
-	points  []*pointState
-	pending int
+	id        string
+	req       JobRequest
+	points    []*pointState
+	pending   int
+	artifacts []ArtifactSpec
 }
 
 // flight is one in-flight execution: the keys to write back when it
@@ -180,6 +243,8 @@ func NewServer(b Backend) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/results/{fp}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/workers", s.handleWorkers)
@@ -204,6 +269,7 @@ type JobStatus struct {
 	Failed     int                      `json:"failed"`
 	Results    map[string]system.Result `json:"results,omitempty"`
 	Errors     map[string]string        `json:"errors,omitempty"`
+	Artifacts  []JobArtifact            `json:"artifacts,omitempty"`
 }
 
 // statusLocked renders j; callers hold s.mu.
@@ -241,6 +307,31 @@ func (s *Server) statusLocked(j *job) JobStatus {
 		st.Status = "failed"
 	default:
 		st.Status = "done"
+	}
+	if len(j.artifacts) > 0 {
+		// Per-artifact countdown over the job's successfully settled keys
+		// (canonical and alias alike — an artifact listens on whatever
+		// grid names its keys carry).
+		settled := map[string]bool{}
+		for _, ps := range j.points {
+			if !ps.done || ps.err != "" {
+				continue
+			}
+			settled[ps.p.Key] = true
+			for _, alias := range ps.p.Aliases {
+				settled[alias] = true
+			}
+		}
+		for _, a := range j.artifacts {
+			ja := JobArtifact{Experiment: a.Experiment, Name: a.Name, Keys: len(a.Keys)}
+			for _, k := range a.Keys {
+				if settled[k] {
+					ja.Settled++
+				}
+			}
+			ja.Ready = ja.Settled == ja.Keys
+			st.Artifacts = append(st.Artifacts, ja)
+		}
 	}
 	return st
 }
@@ -282,11 +373,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	var artifacts []ArtifactSpec
+	if s.b.Artifacts != nil {
+		// Artifact progress is advisory; a resolution error degrades the
+		// job document to point counts only rather than failing the job.
+		artifacts, _ = s.b.Artifacts(req)
+	}
+
 	s.mu.Lock()
 	s.counters.Requests++
 	s.counters.Points += len(points)
 	s.nextJob++
-	j := &job{id: fmt.Sprintf("j%d", s.nextJob), req: req}
+	j := &job{id: fmt.Sprintf("j%d", s.nextJob), req: req, artifacts: artifacts}
 	s.jobs[j.id] = j
 	var launches []launch
 	for _, p := range points {
@@ -391,6 +489,53 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if s.b.Experiments == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("experiment catalog not wired"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": s.b.Experiments()})
+}
+
+// handleArtifact answers GET /v1/artifacts/{name}?scale=...&seed=...
+// — one artifact's readiness against the result cache, rendered output
+// included once every key it needs has settled. The experiment is
+// implied by the artifact name; scale is required because key sets are
+// scale-dependent.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if s.b.ArtifactStatus == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("artifact status not wired"))
+		return
+	}
+	q := r.URL.Query()
+	req := JobRequest{Scale: q.Get("scale")}
+	if req.Scale == "" {
+		writeError(w, http.StatusBadRequest, errors.New("artifact request: scale query parameter is required"))
+		return
+	}
+	if seed := q.Get("seed"); seed != "" {
+		v, err := strconv.ParseUint(seed, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("artifact request: seed: %w", err))
+			return
+		}
+		req.Seed = v
+	}
+	if ov := q.Get("overrides"); ov != "" {
+		req.Overrides = json.RawMessage(ov)
+	}
+	st, err := s.b.ArtifactStatus(r.PathValue("name"), req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownArtifact) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

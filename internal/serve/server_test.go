@@ -472,3 +472,162 @@ func TestParseJobRequest(t *testing.T) {
 		}
 	}
 }
+
+// TestExperimentCatalogEndpoint: GET /v1/experiments serves the
+// backend's catalog hook verbatim, and answers 501 when the hook is
+// not wired — a coordinator-only backend stays a valid Backend.
+func TestExperimentCatalogEndpoint(t *testing.T) {
+	b := newFakeBackend()
+	bare := httptest.NewServer(NewServer(b.backend()))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("unwired catalog: status %d, want 501", resp.StatusCode)
+	}
+
+	be := b.backend()
+	be.Experiments = func() []ExperimentInfo {
+		return []ExperimentInfo{{Name: "fig7", Bundles: []string{"fig10"}, Artifacts: []string{"fig7", "fig10"}}}
+	}
+	ts := httptest.NewServer(NewServer(be))
+	defer ts.Close()
+	resp, err = http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Experiments []ExperimentInfo `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/experiments: status %d, err %v", resp.StatusCode, err)
+	}
+	if len(payload.Experiments) != 1 || payload.Experiments[0].Name != "fig7" ||
+		len(payload.Experiments[0].Artifacts) != 2 {
+		t.Fatalf("catalog payload %+v", payload.Experiments)
+	}
+}
+
+// TestArtifactEndpointStatusCodes: /v1/artifacts/{name} maps hook
+// outcomes to HTTP — 501 unwired, 400 without the required scale or
+// with a junk seed, 404 on ErrUnknownArtifact, 200 with the hook's
+// status otherwise — and forwards scale/seed into the hook's request.
+func TestArtifactEndpointStatusCodes(t *testing.T) {
+	b := newFakeBackend()
+	bare := httptest.NewServer(NewServer(b.backend()))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/v1/artifacts/fig1?scale=smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("unwired artifact status: %d, want 501", resp.StatusCode)
+	}
+
+	var gotName string
+	var gotReq JobRequest
+	be := b.backend()
+	be.ArtifactStatus = func(name string, req JobRequest) (ArtifactStatus, error) {
+		gotName, gotReq = name, req
+		if name == "nosuch" {
+			return ArtifactStatus{}, fmt.Errorf("%w %q", ErrUnknownArtifact, name)
+		}
+		return ArtifactStatus{Artifact: name, Experiment: "fig1", Scale: req.Scale,
+			Keys: 3, Settled: 1, Missing: []string{"k2", "k3"}}, nil
+	}
+	ts := httptest.NewServer(NewServer(be))
+	defer ts.Close()
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status("/v1/artifacts/fig1"); code != http.StatusBadRequest {
+		t.Fatalf("missing scale: %d, want 400", code)
+	}
+	if code := status("/v1/artifacts/fig1?scale=smoke&seed=banana"); code != http.StatusBadRequest {
+		t.Fatalf("junk seed: %d, want 400", code)
+	}
+	if code := status("/v1/artifacts/nosuch?scale=smoke"); code != http.StatusNotFound {
+		t.Fatalf("unknown artifact: %d, want 404", code)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/artifacts/fig1?scale=smoke&seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ArtifactStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact status: %d, err %v", resp.StatusCode, err)
+	}
+	if gotName != "fig1" || gotReq.Scale != "smoke" || gotReq.Seed != 7 {
+		t.Fatalf("hook saw name=%q req=%+v", gotName, gotReq)
+	}
+	if st.Keys != 3 || st.Settled != 1 || len(st.Missing) != 2 || st.Ready {
+		t.Fatalf("status payload %+v", st)
+	}
+}
+
+// TestJobArtifactProgress: a job document's artifact countdown tracks
+// point settlement live — alias keys count, failed points do not, and
+// Ready flips only when the last needed key lands.
+func TestJobArtifactProgress(t *testing.T) {
+	b := newFakeBackend()
+	b.hold = true
+	b.grids["fig1"] = []Point{
+		{Key: "fig1/a", Fingerprint: "fpa"},
+		{Key: "fig1/b", Fingerprint: "fpb", Aliases: []string{"fig2/b"}},
+		{Key: "fig1/c", Fingerprint: "fpc"},
+	}
+	be := b.backend()
+	be.Artifacts = func(req JobRequest) ([]ArtifactSpec, error) {
+		return []ArtifactSpec{
+			{Experiment: "fig1", Name: "fig1", Keys: []string{"fig1/a", "fig2/b"}}, // alias key
+			{Experiment: "fig1", Name: "figX", Keys: []string{"fig1/c"}},
+		}, nil
+	}
+	ts := httptest.NewServer(NewServer(be))
+	defer ts.Close()
+
+	st := postJob(t, ts, `{"experiment":"fig1","scale":"smoke"}`)
+	if len(st.Artifacts) != 2 || st.Artifacts[0].Settled != 0 || st.Artifacts[0].Ready {
+		t.Fatalf("fresh job artifacts %+v", st.Artifacts)
+	}
+
+	b.release("fpa", system.Result{Cycles: 1}, nil)
+	st = getJob(t, ts, st.ID)
+	if st.Artifacts[0].Settled != 1 || st.Artifacts[0].Ready {
+		t.Fatalf("after fpa: %+v", st.Artifacts)
+	}
+
+	// fig1/b settles; the artifact listens on the alias name fig2/b and
+	// must still count it.
+	b.release("fpb", system.Result{Cycles: 2}, nil)
+	st = getJob(t, ts, st.ID)
+	if st.Artifacts[0].Settled != 2 || !st.Artifacts[0].Ready {
+		t.Fatalf("alias key not counted: %+v", st.Artifacts)
+	}
+	if st.Artifacts[1].Settled != 0 {
+		t.Fatalf("figX settled early: %+v", st.Artifacts)
+	}
+
+	// fig1/c fails: its artifact never reaches Ready on this job.
+	b.release("fpc", system.Result{}, errors.New("sim exploded"))
+	st = waitSettled(t, ts, st.ID)
+	if st.Artifacts[1].Settled != 0 || st.Artifacts[1].Ready {
+		t.Fatalf("failed point counted as settled: %+v", st.Artifacts)
+	}
+	if st.Status != "failed" {
+		t.Fatalf("job status %q", st.Status)
+	}
+}

@@ -15,10 +15,14 @@ package bulkpim
 // a single-process run.
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
+	"bulkpim/internal/resultcache"
 	"bulkpim/internal/runner"
 )
 
@@ -92,6 +96,148 @@ func Manifest(name string, opts Options) ([]PlannedJob, error) {
 		}
 	}
 	return out, nil
+}
+
+// ManifestVersion identifies the `plan -json` envelope format. Bump it
+// whenever the envelope shape changes: ParseManifest rejects foreign
+// versions loudly, so a manifest saved by an incompatible build can
+// never feed a diff that silently reports nothing to do.
+const ManifestVersion = "bulkpim-manifest-v1"
+
+// ManifestEnvelope is the stable schema-versioned wrapper `plan -json`
+// emits: the manifest itself plus everything a later diff needs to
+// judge compatibility — the envelope version, the result-cache schema
+// version the fingerprints were computed under, the tool build stamp,
+// and the plan's identity (experiment, scale, seed).
+type ManifestEnvelope struct {
+	Version    string       `json:"manifest_version"`
+	Schema     string       `json:"schema_version"`
+	Build      string       `json:"build,omitempty"`
+	Experiment string       `json:"experiment"`
+	Scale      string       `json:"scale"`
+	Seed       uint64       `json:"seed"`
+	Jobs       []PlannedJob `json:"jobs"`
+}
+
+// NewManifestEnvelope wraps planned jobs in the current envelope.
+// build is the emitting tool's build stamp (may be empty).
+func NewManifestEnvelope(name string, opts Options, build string, jobs []PlannedJob) ManifestEnvelope {
+	if jobs == nil {
+		jobs = []PlannedJob{}
+	}
+	return ManifestEnvelope{
+		Version:    ManifestVersion,
+		Schema:     resultcache.SchemaVersion,
+		Build:      build,
+		Experiment: strings.ToLower(name),
+		Scale:      string(opts.Scale),
+		Seed:       opts.Seed,
+		Jobs:       jobs,
+	}
+}
+
+// ParseManifest decodes a saved `plan -json` envelope. Legacy bare
+// JSON arrays (pre-envelope builds) and foreign envelope versions are
+// rejected loudly — an incompatible saved manifest must fail the diff,
+// never shrink it to an empty one.
+func ParseManifest(data []byte) (ManifestEnvelope, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return ManifestEnvelope{}, errors.New("manifest: empty file")
+	}
+	if trimmed[0] == '[' {
+		return ManifestEnvelope{}, errors.New(
+			"manifest: bare JSON array without an envelope — saved by an older pimbench build; re-plan with this build before diffing")
+	}
+	var env ManifestEnvelope
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return ManifestEnvelope{}, fmt.Errorf("manifest: %w", err)
+	}
+	if env.Version == "" {
+		return ManifestEnvelope{}, errors.New(
+			"manifest: missing manifest_version — saved by an older pimbench build; re-plan with this build before diffing")
+	}
+	if env.Version != ManifestVersion {
+		return ManifestEnvelope{}, fmt.Errorf(
+			"manifest: version %q, this build reads %q — re-plan with this build before diffing",
+			env.Version, ManifestVersion)
+	}
+	return env, nil
+}
+
+// ManifestDiff is a prior manifest diffed against the current plan, at
+// fingerprint granularity: the fingerprint content-addresses the
+// simulation, so a config or code edit invalidates exactly the
+// fingerprints it shifts. The alias keys of one fingerprint group
+// travel together — an invalidated group re-plans all of its manifest
+// entries, an unchanged group none — mirroring how the executors
+// dedup work by fingerprint.
+type ManifestDiff struct {
+	// Invalidated lists the current manifest entries whose fingerprint
+	// the prior manifest does not contain — exactly the subset a re-run
+	// has to execute (everything else is a warm cache hit).
+	Invalidated []PlannedJob
+	// Removed lists the prior entries whose fingerprint the current
+	// plan no longer produces (grid points dropped by the edit); they
+	// are reported, never silently discarded.
+	Removed []PlannedJob
+	// Unchanged counts current entries whose fingerprint carries over;
+	// InvalidatedGroups/UnchangedGroups count distinct fingerprints.
+	Unchanged         int
+	InvalidatedGroups int
+	UnchangedGroups   int
+	// SchemaChanged reports a result-cache schema-version mismatch
+	// between the manifests: every cached result is unreadable by this
+	// build, so every current fingerprint is invalidated regardless of
+	// overlap.
+	SchemaChanged bool
+}
+
+// DiffManifests diffs a prior envelope against the current one. Both
+// sides must already have passed ParseManifest's version gate.
+func DiffManifests(old, cur ManifestEnvelope) ManifestDiff {
+	d := ManifestDiff{SchemaChanged: old.Schema != cur.Schema}
+	oldFPs := map[string]bool{}
+	for _, j := range old.Jobs {
+		oldFPs[j.Fingerprint] = true
+	}
+	curFPs := map[string]bool{}
+	invalidFPs := map[string]bool{}
+	keptFPs := map[string]bool{}
+	for _, j := range cur.Jobs {
+		curFPs[j.Fingerprint] = true
+		if d.SchemaChanged || !oldFPs[j.Fingerprint] {
+			d.Invalidated = append(d.Invalidated, j)
+			if !invalidFPs[j.Fingerprint] {
+				invalidFPs[j.Fingerprint] = true
+				d.InvalidatedGroups++
+			}
+			continue
+		}
+		d.Unchanged++
+		if !keptFPs[j.Fingerprint] {
+			keptFPs[j.Fingerprint] = true
+			d.UnchangedGroups++
+		}
+	}
+	for _, j := range old.Jobs {
+		if !curFPs[j.Fingerprint] {
+			d.Removed = append(d.Removed, j)
+		}
+	}
+	return d
+}
+
+// Summary renders the one-line accounting `plan -diff` prints.
+func (d ManifestDiff) Summary() string {
+	s := fmt.Sprintf("%d invalidated (%d fingerprints), %d unchanged (%d fingerprints), %d removed",
+		len(d.Invalidated), d.InvalidatedGroups, d.Unchanged, d.UnchangedGroups, len(d.Removed))
+	if d.SchemaChanged {
+		s += " [schema version changed: every fingerprint invalidated]"
+	}
+	return s
 }
 
 // fpGroup is one distinct simulation of a planned suite: the job to

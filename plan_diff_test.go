@@ -1,0 +1,184 @@
+package bulkpim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func smokeEnvelope(t *testing.T, name string) ManifestEnvelope {
+	t.Helper()
+	opts := Options{Scale: ScaleSmoke}
+	manifest, err := Manifest(name, opts)
+	if err != nil {
+		t.Fatalf("manifest %s: %v", name, err)
+	}
+	return NewManifestEnvelope(name, opts, "test-build", manifest)
+}
+
+// TestManifestEnvelopeRoundTrip: the envelope survives its own JSON
+// encoding through ParseManifest unchanged.
+func TestManifestEnvelopeRoundTrip(t *testing.T) {
+	env := smokeEnvelope(t, "fig3")
+	if env.Version != ManifestVersion || env.Schema == "" {
+		t.Fatalf("envelope missing version stamps: %+v", env)
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != env.Experiment || back.Scale != env.Scale ||
+		back.Seed != env.Seed || len(back.Jobs) != len(env.Jobs) {
+		t.Fatalf("round-trip skew: %+v vs %+v", back, env)
+	}
+}
+
+// TestParseManifestRejects: pre-envelope bare arrays, foreign envelope
+// versions and junk all fail loudly — a manifest that cannot be judged
+// compatible must never feed a diff that reports nothing to do.
+func TestParseManifestRejects(t *testing.T) {
+	cases := []struct {
+		name, data, want string
+	}{
+		{"empty", "", "empty"},
+		{"bare array", `[{"experiment":"fig3","key":"k","fingerprint":"f"}]`, "older pimbench build"},
+		{"foreign version", `{"manifest_version":"bulkpim-manifest-v999","schema_version":"s","experiment":"fig3","scale":"smoke","seed":0,"jobs":[]}`, "re-plan with this build"},
+		{"missing version", `{"schema_version":"s","experiment":"fig3","scale":"smoke","seed":0,"jobs":[]}`, "re-plan with this build"},
+		{"unknown field", `{"manifest_version":"bulkpim-manifest-v1","schema_version":"s","experiment":"fig3","scale":"smoke","seed":0,"jobs":[],"extra":1}`, "extra"},
+	}
+	for _, c := range cases {
+		if _, err := ParseManifest([]byte(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestDiffManifestsIdentical: a self-diff plans nothing and loses
+// nothing.
+func TestDiffManifestsIdentical(t *testing.T) {
+	env := smokeEnvelope(t, "all")
+	d := DiffManifests(env, env)
+	if len(d.Invalidated) != 0 || len(d.Removed) != 0 || d.SchemaChanged {
+		t.Fatalf("self-diff not empty: %s", d.Summary())
+	}
+	if d.Unchanged != len(env.Jobs) || d.UnchangedGroups == 0 {
+		t.Fatalf("self-diff accounting: %s (want %d unchanged)", d.Summary(), len(env.Jobs))
+	}
+}
+
+// TestDiffManifestsSchemaBump: a result-cache schema-version change
+// invalidates every fingerprint — the cached results are unreadable,
+// so fingerprint overlap is irrelevant.
+func TestDiffManifestsSchemaBump(t *testing.T) {
+	cur := smokeEnvelope(t, "fig3")
+	old := cur
+	old.Schema = "bulkpim-resultcache-v0-ancient"
+	d := DiffManifests(old, cur)
+	if !d.SchemaChanged {
+		t.Fatal("schema change not detected")
+	}
+	if len(d.Invalidated) != len(cur.Jobs) || d.Unchanged != 0 {
+		t.Fatalf("schema bump must invalidate everything: %s", d.Summary())
+	}
+	if !strings.Contains(d.Summary(), "schema version changed") {
+		t.Fatalf("summary does not flag the schema change: %s", d.Summary())
+	}
+}
+
+// TestDiffManifestsAliasGroup: the alias keys of one fingerprint group
+// diff as one unit — mutating the group's fingerprint in the prior
+// manifest invalidates every one of its manifest entries but only one
+// fingerprint group.
+func TestDiffManifestsAliasGroup(t *testing.T) {
+	cur := smokeEnvelope(t, "all")
+	byFP := map[string]int{}
+	for _, j := range cur.Jobs {
+		byFP[j.Fingerprint]++
+	}
+	groupFP, groupSize := "", 0
+	for fp, n := range byFP {
+		if n > 1 {
+			groupFP, groupSize = fp, n
+			break
+		}
+	}
+	if groupFP == "" {
+		t.Fatal("smoke suite has no multi-key fingerprint group; the alias-unit case needs one")
+	}
+
+	old := cur
+	old.Jobs = append([]PlannedJob{}, cur.Jobs...)
+	for i, j := range old.Jobs {
+		if j.Fingerprint == groupFP {
+			old.Jobs[i].Fingerprint = "0000000000000000000000000000dead"
+		}
+	}
+	d := DiffManifests(old, cur)
+	if len(d.Invalidated) != groupSize || d.InvalidatedGroups != 1 {
+		t.Fatalf("alias group must invalidate as one unit of %d entries: %s", groupSize, d.Summary())
+	}
+	for _, j := range d.Invalidated {
+		if j.Fingerprint != groupFP {
+			t.Fatalf("invalidated a foreign fingerprint: %+v", j)
+		}
+	}
+	// The mutated prior fingerprint no longer exists in the current
+	// plan, so its entries are reported as removed, not dropped.
+	if len(d.Removed) != groupSize {
+		t.Fatalf("%d removed entries, want the prior group's %d", len(d.Removed), groupSize)
+	}
+}
+
+// TestDiffManifestsRemovedReported: grid points the new plan no longer
+// produces are listed, never silently discarded.
+func TestDiffManifestsRemovedReported(t *testing.T) {
+	cur := smokeEnvelope(t, "fig3")
+	old := cur
+	old.Jobs = append(append([]PlannedJob{}, cur.Jobs...),
+		PlannedJob{Experiment: "fig3", Key: "ycsb/records=999/model=ghost",
+			Fingerprint: "feedfacefeedfacefeedfacefeedface"})
+	d := DiffManifests(old, cur)
+	if len(d.Invalidated) != 0 {
+		t.Fatalf("nothing new was planned: %s", d.Summary())
+	}
+	if len(d.Removed) != 1 || d.Removed[0].Key != "ycsb/records=999/model=ghost" {
+		t.Fatalf("dropped grid point not reported: %+v", d.Removed)
+	}
+}
+
+// TestDiffManifestsConfigEdit simulates the incremental-run scenario:
+// a config-param edit shifts exactly one experiment's fingerprints, so
+// the diff plans that experiment's jobs and nothing else.
+func TestDiffManifestsConfigEdit(t *testing.T) {
+	old := smokeEnvelope(t, "all")
+	cur := old
+	cur.Jobs = append([]PlannedJob{}, old.Jobs...)
+	edited := 0
+	for i, j := range cur.Jobs {
+		if j.Experiment == "fig13" {
+			cur.Jobs[i].Fingerprint = "c0ffee" + j.Fingerprint[6:]
+			edited++
+		}
+	}
+	if edited == 0 {
+		t.Fatal("no fig13 jobs in the smoke suite")
+	}
+	d := DiffManifests(old, cur)
+	if len(d.Invalidated) != edited {
+		t.Fatalf("%d invalidated, want exactly the %d edited jobs: %s", len(d.Invalidated), edited, d.Summary())
+	}
+	for _, j := range d.Invalidated {
+		if j.Experiment != "fig13" {
+			t.Fatalf("untouched experiment invalidated: %+v", j)
+		}
+	}
+	if d.Unchanged != len(old.Jobs)-edited {
+		t.Fatalf("unchanged accounting off: %s", d.Summary())
+	}
+}

@@ -3,15 +3,19 @@ package bulkpim
 // The experiment registry is the declarative backbone of the harness:
 // every experiment is an ExperimentSpec with two separable phases — a
 // Plan that enumerates its simulation jobs without executing anything,
-// and a Report that renders figures/tables purely from job results
-// looked up by key. Everything else is built on that split: a local
-// run plans and executes in one process; a distributed run plans
-// everywhere, executes a shard-filtered subset per machine into a
-// local result cache, merges the caches, and runs the report pass
-// entirely from cache hits. RunExperiment, RunAll, the pimbench
-// plan/merge subcommands and the -shard filter all resolve experiments
-// through this one table, so the advertised experiment list can never
-// drift from what actually runs.
+// and a set of Artifacts (figures/tables), each declaring the exact
+// job-key set it needs and rendered individually by Render purely from
+// job results looked up by key. Everything else is built on that
+// split: a local run plans and executes in one process; a distributed
+// run plans everywhere, executes a shard-filtered subset per machine
+// into a local result cache, merges the caches, and runs the report
+// pass entirely from cache hits; a streaming run (stream.go) counts
+// down each artifact's key set as results settle and renders it the
+// moment its last job lands. The legacy monolithic Report is now a
+// method that concatenates the artifact renders in declaration order.
+// RunExperiment, RunAll, the pimbench plan/merge subcommands and the
+// -shard filter all resolve experiments through this one table, so the
+// advertised experiment list can never drift from what actually runs.
 
 import (
 	"errors"
@@ -24,6 +28,17 @@ import (
 
 	"bulkpim/internal/runner"
 )
+
+// Artifact is one renderable output of an ExperimentSpec — a figure or
+// table name (fig7, fig10, table2, …) plus the exact job-key set whose
+// results its render folds. Keys is empty for static tables, which are
+// renderable before any job runs. The per-artifact key sets are what
+// make streaming cheap: "the last job for figure X settled" is a
+// remaining-key countdown over Keys, no simulation knowledge needed.
+type Artifact struct {
+	Name string
+	Keys []string
+}
 
 // ExperimentSpec declares one experiment of the paper's evaluation.
 type ExperimentSpec struct {
@@ -39,11 +54,84 @@ type ExperimentSpec struct {
 	// closures, so planning a full-scale suite is instant. nil for
 	// static table experiments with no jobs.
 	Plan func(opts Options) ([]SimJob, error)
-	// Report renders the printable report from planned-job results,
+	// Artifacts declares the spec's renderable outputs in report
+	// order: the artifact named after the spec first, bundled names
+	// after. Like Plan it executes nothing; key sets may vary with
+	// opts (scale changes the grid) but names never do.
+	Artifacts func(opts Options) []Artifact
+	// Render produces one declared artifact from planned-job results,
 	// looked up by job key. It performs no simulation work, so a
-	// coordinator whose cache holds every planned point reports
-	// without computing anything.
-	Report func(opts Options, rs *ResultSet) (string, error)
+	// coordinator whose cache holds an artifact's key set renders it
+	// without computing anything — and a stream renders it the moment
+	// the last of those keys settles.
+	Render func(opts Options, artifact string, rs *ResultSet) (string, error)
+}
+
+// Report renders the spec's full printable report: every declared
+// artifact, rendered in declaration order and concatenated. This is
+// the legacy monolithic entry point the batch paths still call — the
+// golden tests pin that a streamed run's artifacts reassemble to
+// exactly these bytes.
+func (s ExperimentSpec) Report(opts Options, rs *ResultSet) (string, error) {
+	var b strings.Builder
+	for _, a := range s.Artifacts(opts) {
+		out, err := s.Render(opts, a.Name, rs)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+	}
+	return b.String(), nil
+}
+
+// ArtifactNames lists the spec's artifact names in declaration order.
+// Names are scale-independent — only key sets vary with options — so a
+// fixed smoke-scale enumeration serves catalogs and lookups.
+func (s ExperimentSpec) ArtifactNames() []string {
+	arts := s.Artifacts(Options{Scale: ScaleSmoke})
+	out := make([]string, len(arts))
+	for i, a := range arts {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// LookupArtifact resolves an artifact name (fig10, table2, …) to the
+// spec that renders it. Artifact names are the union of spec names and
+// bundled names, so this is LookupExperiment at artifact granularity.
+func LookupArtifact(name string) (ExperimentSpec, bool) {
+	n := strings.ToLower(name)
+	for _, s := range registry {
+		for _, a := range s.ArtifactNames() {
+			if a == n {
+				return s, true
+			}
+		}
+	}
+	return ExperimentSpec{}, false
+}
+
+// singleArtifact wires the Artifacts/Render pair for the common
+// one-artifact spec: the artifact carries the spec's name, keys
+// enumerates its job keys at the given options (nil for static
+// tables), renderOne produces the report body.
+func singleArtifact(name string, keys func(opts Options) []string,
+	renderOne func(opts Options, rs *ResultSet) (string, error)) (
+	func(Options) []Artifact, func(Options, string, *ResultSet) (string, error)) {
+	artifacts := func(opts Options) []Artifact {
+		var ks []string
+		if keys != nil {
+			ks = keys(opts)
+		}
+		return []Artifact{{Name: name, Keys: ks}}
+	}
+	renderFn := func(opts Options, artifact string, rs *ResultSet) (string, error) {
+		if artifact != name {
+			return "", fmt.Errorf("%s: unknown artifact %q", name, artifact)
+		}
+		return renderOne(opts, rs)
+	}
+	return artifacts, renderFn
 }
 
 // ResultSet indexes executed grid-point results by job key: the

@@ -61,10 +61,13 @@ func ParseConfigOverride(raw []byte) (func(*Config), error) {
 }
 
 // resolvedPlan is one request shape's deduplicated plan: the API's
-// point list and the fingerprint-to-job index executors run from.
+// point list, the fingerprint-to-job index executors run from, and the
+// key-to-fingerprint index the artifact-status path consults the cache
+// with (every planned key, canonical and alias alike).
 type resolvedPlan struct {
-	points []serve.Point
-	byFP   map[string]SimJob
+	points  []serve.Point
+	byFP    map[string]SimJob
+	fpByKey map[string]string
 }
 
 // planCache memoizes resolved plans by full spec identity
@@ -134,11 +137,15 @@ func (pc *planCache) resolve(spec coord.JobSpec) (*resolvedPlan, error) {
 		}
 	}
 	groups, _ := dedupPlan(planned)
-	rp := &resolvedPlan{byFP: make(map[string]SimJob, len(groups))}
+	rp := &resolvedPlan{byFP: make(map[string]SimJob, len(groups)),
+		fpByKey: map[string]string{}}
 	for _, g := range groups {
 		rp.points = append(rp.points, serve.Point{
 			Key: g.keys[0], Fingerprint: g.fp, Aliases: g.keys[1:]})
 		rp.byFP[g.fp] = g.job
+		for _, k := range g.keys {
+			rp.fpByKey[k] = g.fp
+		}
 	}
 
 	pc.mu.Lock()
@@ -300,8 +307,11 @@ func NewServer(opts Options, sopts ServerOptions) (*Server, error) {
 				s.logf("cache store %s: %v", key, err)
 			}
 		},
-		Exec:  s.exec,
-		Fleet: s.pool.Stats,
+		Exec:           s.exec,
+		Experiments:    experimentCatalog,
+		Artifacts:      s.resolveArtifacts,
+		ArtifactStatus: s.artifactStatus,
+		Fleet:          s.pool.Stats,
 		AddWorker: func() (int, error) {
 			return s.pool.AddWorker()
 		},
@@ -358,6 +368,96 @@ func (s *Server) resolveRequest(req serve.JobRequest) ([]serve.Point, error) {
 		return nil, err
 	}
 	return rp.points, nil
+}
+
+// experimentCatalog renders the registry for GET /v1/experiments:
+// every spec with its bundled aliases and artifact list, in canonical
+// suite order.
+func experimentCatalog() []serve.ExperimentInfo {
+	var out []serve.ExperimentInfo
+	for _, name := range StandaloneExperiments() {
+		spec, _ := LookupExperiment(name)
+		out = append(out, serve.ExperimentInfo{
+			Name: spec.Name, Bundles: spec.Bundles, Artifacts: spec.ArtifactNames()})
+	}
+	return out
+}
+
+// resolveArtifacts is the API's per-request artifact hook: the
+// renderable artifacts of the request's experiment ("all" for the full
+// suite) with their exact key sets at the request's scale and seed.
+func (s *Server) resolveArtifacts(req serve.JobRequest) ([]serve.ArtifactSpec, error) {
+	specs, err := streamSpecs(strings.ToLower(req.Experiment))
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.Scale = Scale(req.Scale)
+	opts.Seed = req.Seed
+	var out []serve.ArtifactSpec
+	for _, spec := range specs {
+		for _, a := range spec.Artifacts(opts) {
+			out = append(out, serve.ArtifactSpec{
+				Experiment: spec.Name, Name: a.Name, Keys: a.Keys})
+		}
+	}
+	return out, nil
+}
+
+// artifactStatus answers GET /v1/artifacts/{name}: the artifact's
+// key-set readiness against the result cache, with its rendered output
+// — produced by the owning spec's Render, from cached results alone —
+// once every key has settled.
+func (s *Server) artifactStatus(name string, req serve.JobRequest) (serve.ArtifactStatus, error) {
+	n := strings.ToLower(name)
+	spec, ok := LookupArtifact(n)
+	if !ok {
+		return serve.ArtifactStatus{}, fmt.Errorf("%w %q", serve.ErrUnknownArtifact, name)
+	}
+	jreq := req
+	jreq.Experiment = spec.Name
+	rp, err := s.pc.resolve(specOf(jreq))
+	if err != nil {
+		return serve.ArtifactStatus{}, err
+	}
+	opts := s.opts
+	opts.Scale = Scale(req.Scale)
+	opts.Seed = req.Seed
+	var art *Artifact
+	for _, a := range spec.Artifacts(opts) {
+		if a.Name == n {
+			a := a
+			art = &a
+			break
+		}
+	}
+	if art == nil {
+		return serve.ArtifactStatus{}, fmt.Errorf("%w %q", serve.ErrUnknownArtifact, name)
+	}
+
+	st := serve.ArtifactStatus{Artifact: n, Experiment: spec.Name,
+		Scale: req.Scale, Seed: req.Seed, Keys: len(art.Keys)}
+	rs := &ResultSet{byKey: map[string]Result{}}
+	const missingCap = 8
+	for _, k := range art.Keys {
+		if v, ok := s.opts.Cache.Lookup(k, rp.fpByKey[k]); ok {
+			st.Settled++
+			rs.byKey[k] = v
+			continue
+		}
+		if len(st.Missing) < missingCap {
+			st.Missing = append(st.Missing, k)
+		}
+	}
+	st.Ready = st.Settled == st.Keys
+	if st.Ready {
+		out, err := spec.Render(opts, n, rs)
+		if err != nil {
+			return serve.ArtifactStatus{}, fmt.Errorf("render %s: %w", n, err)
+		}
+		st.Output = out
+	}
+	return st, nil
 }
 
 func specOf(req serve.JobRequest) coord.JobSpec {

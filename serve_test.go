@@ -274,3 +274,136 @@ func TestServeHTTPDedupExactlyOnce(t *testing.T) {
 		t.Fatalf("warm submit executed work: %d executions for %d fingerprints", got, len(want))
 	}
 }
+
+// TestServeExperimentCatalog: GET /v1/experiments advertises every
+// registry spec with its bundled aliases and per-spec artifact list —
+// the discovery surface clients use before submitting jobs or polling
+// artifacts.
+func TestServeExperimentCatalog(t *testing.T) {
+	cache, err := OpenResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	_, url := startLocalServer(t, Options{Cache: cache}, ServerOptions{Workers: 1})
+
+	resp, err := http.Get(url + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Experiments []serve.ExperimentInfo `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/experiments: status %d, err %v", resp.StatusCode, err)
+	}
+	if len(payload.Experiments) != len(StandaloneExperiments()) {
+		t.Fatalf("%d catalog entries, want %d", len(payload.Experiments), len(StandaloneExperiments()))
+	}
+	byName := map[string]serve.ExperimentInfo{}
+	total := 0
+	for _, e := range payload.Experiments {
+		byName[e.Name] = e
+		total += len(e.Artifacts)
+	}
+	if total != 18 {
+		t.Fatalf("catalog lists %d artifacts suite-wide, want 18", total)
+	}
+	fig7 := byName["fig7"]
+	if strings.Join(fig7.Artifacts, ",") != "fig7,fig10" || strings.Join(fig7.Bundles, ",") != "fig10" {
+		t.Fatalf("fig7 catalog entry: %+v", fig7)
+	}
+	if tb := byName["table2"]; len(tb.Artifacts) != 1 || tb.Artifacts[0] != "table2" {
+		t.Fatalf("table2 catalog entry: %+v", tb)
+	}
+}
+
+// TestServeArtifactEndpoint drives GET /v1/artifacts/{name} cold to
+// warm: pending with missing keys against an empty cache, then — after
+// the owning experiment's job settles — ready with output identical to
+// an in-process run's report. Job documents expose the same
+// per-artifact countdown.
+func TestServeArtifactEndpoint(t *testing.T) {
+	cache, err := OpenResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	_, url := startLocalServer(t, Options{Cache: cache}, ServerOptions{Workers: 2})
+
+	getArtifact := func(name, query string) (serve.ArtifactStatus, int) {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/artifacts/" + name + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st serve.ArtifactStatus
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatalf("GET /v1/artifacts/%s: %v", name, err)
+			}
+		}
+		return st, resp.StatusCode
+	}
+
+	// Unknown artifact: 404. Missing scale: 400.
+	if _, code := getArtifact("fig99", "?scale=smoke"); code != http.StatusNotFound {
+		t.Fatalf("unknown artifact: status %d, want 404", code)
+	}
+	if _, code := getArtifact("fig1", ""); code != http.StatusBadRequest {
+		t.Fatalf("missing scale: status %d, want 400", code)
+	}
+
+	// Cold: every key missing, no output.
+	st, code := getArtifact("fig1", "?scale=smoke")
+	if code != http.StatusOK {
+		t.Fatalf("cold artifact status %d", code)
+	}
+	if st.Ready || st.Settled != 0 || st.Keys == 0 || len(st.Missing) == 0 || st.Output != "" {
+		t.Fatalf("cold artifact not pending: %+v", st)
+	}
+	if st.Experiment != "fig1" || st.Scale != "smoke" {
+		t.Fatalf("artifact identity: %+v", st)
+	}
+
+	// Run the experiment through the job API; the job document carries
+	// the artifact countdown and settles it to ready.
+	job := submitJob(t, url, `{"experiment":"fig1","scale":"smoke"}`)
+	done := awaitJob(t, url, job.ID)
+	if done.Status != "done" {
+		t.Fatalf("job settled %q: %v", done.Status, done.Errors)
+	}
+	if len(done.Artifacts) != 1 || done.Artifacts[0].Name != "fig1" ||
+		!done.Artifacts[0].Ready || done.Artifacts[0].Settled != done.Artifacts[0].Keys {
+		t.Fatalf("job artifact countdown: %+v", done.Artifacts)
+	}
+
+	// Warm: ready, with output byte-identical to an in-process run.
+	st, code = getArtifact("fig1", "?scale=smoke")
+	if code != http.StatusOK || !st.Ready || st.Settled != st.Keys || len(st.Missing) != 0 {
+		t.Fatalf("warm artifact not ready: status %d, %+v", code, st)
+	}
+	want, err := RunExperiment("fig1", Options{Scale: ScaleSmoke, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output != want {
+		t.Fatalf("artifact output diverges from the in-process report:\n--- serve ---\n%s\n--- run ---\n%s",
+			st.Output, want)
+	}
+
+	// A bundled artifact resolves through its owner: fig10's status
+	// reports fig7 as the owning experiment.
+	st, code = getArtifact("fig10", "?scale=smoke")
+	if code != http.StatusOK || st.Experiment != "fig7" || st.Artifact != "fig10" {
+		t.Fatalf("bundled artifact resolution: status %d, %+v", code, st)
+	}
+
+	// Static tables are renderable with zero keys: always ready.
+	st, code = getArtifact("table2", "?scale=smoke")
+	if code != http.StatusOK || !st.Ready || st.Keys != 0 || st.Output == "" {
+		t.Fatalf("static table artifact: status %d, %+v", code, st)
+	}
+}
